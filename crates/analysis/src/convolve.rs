@@ -1,0 +1,155 @@
+//! Sequence convolution and the majorisation order of Lemma A.1.
+//!
+//! Lemma A.1 of the paper: if `p` majorises `q` (every upper tail of `p`
+//! dominates the corresponding tail of `q`) and `r` is non-increasing,
+//! then `Σ p_k r_k ≤ Σ q_k r_k`. The proof of Lemma 3.3 uses this to
+//! replace the true per-stage placement distribution by an explicit
+//! Poisson-plus-slack sequence. The functions here implement the order
+//! and the convolution so that property tests can check the lemma on
+//! random instances and the paper-constants module can evaluate the
+//! Lemma 3.3 bound mechanically.
+
+/// Discrete convolution `(p ⋆ q)_k = Σ_i p_i q_{k−i}` of two finite
+/// sequences, producing a sequence of length `p.len() + q.len() − 1`.
+///
+/// With pmfs as inputs this is the pmf of the sum of two independent
+/// random variables (the paper uses `Poi(1/2) ⋆ Poi(100/198) =
+/// Poi(199/198)` in Lemma 3.2).
+pub fn convolve(p: &[f64], q: &[f64]) -> Vec<f64> {
+    if p.is_empty() || q.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; p.len() + q.len() - 1];
+    for (i, &pi) in p.iter().enumerate() {
+        if pi == 0.0 {
+            continue;
+        }
+        for (j, &qj) in q.iter().enumerate() {
+            out[i + j] += pi * qj;
+        }
+    }
+    out
+}
+
+/// Returns `true` iff `p` majorises `q` in the sense of Appendix A:
+/// for every index `j`, `Σ_{k ≥ j} p_k ≥ Σ_{k ≥ j} q_k` (sequences are
+/// implicitly zero-padded to a common length).
+///
+/// A small floating tolerance absorbs rounding in the tail sums.
+pub fn majorizes(p: &[f64], q: &[f64]) -> bool {
+    majorizes_with_tol(p, q, 1e-12)
+}
+
+/// [`majorizes`] with an explicit tolerance.
+pub fn majorizes_with_tol(p: &[f64], q: &[f64], tol: f64) -> bool {
+    let len = p.len().max(q.len());
+    let mut tail_p = 0.0;
+    let mut tail_q = 0.0;
+    // Walk tails from the top index downwards.
+    for j in (0..len).rev() {
+        tail_p += p.get(j).copied().unwrap_or(0.0);
+        tail_q += q.get(j).copied().unwrap_or(0.0);
+        if tail_p + tol < tail_q {
+            return false;
+        }
+    }
+    true
+}
+
+/// The conclusion of Lemma A.1: `Σ p_k r_k ≤ Σ q_k r_k` whenever `p`
+/// majorises `q` and `r` is non-increasing. Returns the pair of dot
+/// products `(Σ p r, Σ q r)` so callers can assert the inequality.
+pub fn lemma_a1_dot_products(p: &[f64], q: &[f64], r: &[f64]) -> (f64, f64) {
+    let dot = |s: &[f64]| -> f64 {
+        s.iter()
+            .zip(r.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    };
+    (dot(p), dot(q))
+}
+
+/// Checks that a sequence is non-increasing (the hypothesis on `r` in
+/// Lemma A.1), up to a tolerance.
+pub fn is_non_increasing(r: &[f64]) -> bool {
+    r.windows(2).all(|w| w[0] >= w[1] - 1e-15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Poisson;
+
+    #[test]
+    fn convolve_small_known() {
+        // (1 + x)² = 1 + 2x + x².
+        let p = [1.0, 1.0];
+        let got = convolve(&p, &p);
+        assert_eq!(got, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn convolve_empty() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn convolve_poisson_additivity() {
+        // Lemma 3.2's final step: Poi(1/2) ⋆ Poi(100/198) = Poi(199/198).
+        let a = Poisson::new(0.5);
+        let b = Poisson::new(100.0 / 198.0);
+        let c = Poisson::new(199.0 / 198.0);
+        let pa: Vec<f64> = (0..60).map(|k| a.pmf(k)).collect();
+        let pb: Vec<f64> = (0..60).map(|k| b.pmf(k)).collect();
+        let conv = convolve(&pa, &pb);
+        for k in 0..30usize {
+            assert!(
+                (conv[k] - c.pmf(k as u64)).abs() < 1e-12,
+                "k={k} conv={} exact={}",
+                conv[k],
+                c.pmf(k as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn majorizes_reflexive_and_strict() {
+        let p = [0.1, 0.2, 0.7];
+        assert!(majorizes(&p, &p));
+        // Shifting mass upward increases the majorisation order.
+        let hi = [0.0, 0.2, 0.8];
+        assert!(majorizes(&hi, &p));
+        assert!(!majorizes(&p, &hi));
+    }
+
+    #[test]
+    fn majorizes_handles_different_lengths() {
+        let p = [0.5, 0.5];
+        let q = [0.5, 0.25, 0.25];
+        // q has mass at index 2, p does not: tail at j=2 fails for p.
+        assert!(!majorizes(&p, &q));
+        assert!(majorizes(&q, &p) || !majorizes(&q, &p)); // well-defined either way
+    }
+
+    #[test]
+    fn lemma_a1_on_explicit_instance() {
+        // p majorises q, r non-increasing ⇒ Σ p·r ≤ Σ q·r.
+        let p = [0.0, 0.3, 0.7];
+        let q = [0.2, 0.5, 0.3];
+        let r = [1.0, 0.5, 0.25];
+        assert!(majorizes(&p, &q));
+        assert!(is_non_increasing(&r));
+        let (dp, dq) = lemma_a1_dot_products(&p, &q, &r);
+        assert!(dp <= dq + 1e-12, "dp={dp} dq={dq}");
+    }
+
+    #[test]
+    fn is_non_increasing_examples() {
+        assert!(is_non_increasing(&[3.0, 2.0, 2.0, 1.0]));
+        assert!(!is_non_increasing(&[1.0, 2.0]));
+        assert!(is_non_increasing(&[]));
+        assert!(is_non_increasing(&[1.0]));
+    }
+}

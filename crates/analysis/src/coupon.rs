@@ -1,0 +1,111 @@
+//! Coupon-collector expectations.
+//!
+//! Section 2 of the paper observes that replacing the `adaptive`
+//! threshold `i/n + 1` by `i/n` turns each stage of `n` balls into
+//! "basically a coupon collector process", giving Θ(m log n) total
+//! allocation time. The `coupon_ablation` experiment (E8) measures that
+//! process; this module supplies the exact expectations it is compared
+//! against.
+
+/// The `n`-th harmonic number `H_n = Σ_{k=1}^{n} 1/k`.
+///
+/// Computed by direct summation for small `n` and by the asymptotic
+/// expansion `ln n + γ + 1/2n − 1/12n²` beyond 10⁶ terms (error < 1e-26
+/// there).
+pub fn harmonic(n: u64) -> f64 {
+    const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        // Sum smallest-first for accuracy.
+        let mut acc = 0.0f64;
+        for k in (1..=n).rev() {
+            acc += 1.0 / k as f64;
+        }
+        acc
+    } else {
+        let x = n as f64;
+        x.ln() + EULER_MASCHERONI + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+    }
+}
+
+/// Expected number of uniform samples to collect all `n` coupons:
+/// `n · H_n`.
+pub fn expected_full_collection(n: u64) -> f64 {
+    n as f64 * harmonic(n)
+}
+
+/// Expected number of uniform samples (from `n` coupons) until `k`
+/// distinct coupons have been seen: `n (H_n − H_{n−k})`.
+///
+/// Panics if `k > n`.
+pub fn expected_partial_collection(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "cannot collect {k} distinct coupons from {n}");
+    n as f64 * (harmonic(n) - harmonic(n - k))
+}
+
+/// Expected allocation time of one *stage* of the tight-threshold
+/// (`i/n`) variant discussed in Section 2, starting from a perfectly
+/// balanced load vector: every one of the `n` balls must land in a bin
+/// not yet hit this stage, which is exactly a full coupon collection.
+pub fn tight_threshold_stage_expectation(n: u64) -> f64 {
+    expected_full_collection(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_continuity() {
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        // The two computation branches must agree near the crossover.
+        let exact = harmonic(1_000_000);
+        let x = 1_000_001_f64;
+        let approx = x.ln() + EULER + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+        assert!((harmonic(1_000_001) - approx).abs() < 1e-12);
+        assert!((harmonic(1_000_001) - exact - 1.0 / 1_000_001.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_collection_matches_known() {
+        // E for n=2 is 2·(1 + 1/2) = 3.
+        assert!((expected_full_collection(2) - 3.0).abs() < 1e-14);
+        // Classic n=6 dice: 14.7.
+        assert!((expected_full_collection(6) - 14.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_collection_edges() {
+        assert_eq!(expected_partial_collection(10, 0), 0.0);
+        assert!(
+            (expected_partial_collection(10, 10) - expected_full_collection(10)).abs() < 1e-12
+        );
+        // First coupon always takes exactly one sample.
+        assert!((expected_partial_collection(7, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partial_collection_rejects_k_gt_n() {
+        expected_partial_collection(3, 4);
+    }
+
+    #[test]
+    fn stage_expectation_is_m_log_n_shaped() {
+        // n H_n / (n ln n) → 1.
+        for &n in &[1_000u64, 100_000] {
+            let ratio = tight_threshold_stage_expectation(n) / (n as f64 * (n as f64).ln());
+            assert!(ratio > 1.0 && ratio < 1.2, "n={n} ratio={ratio}");
+        }
+    }
+}

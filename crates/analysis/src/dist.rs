@@ -1,0 +1,543 @@
+//! Exact discrete distributions: Poisson, binomial and geometric.
+//!
+//! The paper's analysis repeatedly converts between binomial and Poisson
+//! views of the allocation process (Lemma 3.2 approximates
+//! `Bin(n/2, 1/n)` by `Poi(1/2)`; Theorem 4.1 and Lemma 4.2 replace the
+//! access distribution by independent Poissons via Lemma A.7). These
+//! types provide exact pmfs, cdfs, survival functions and quantiles so
+//! that experiments and tests can quantify those approximations instead
+//! of hand-waving them.
+
+use crate::special::{beta_inc, gamma_q, ln_choose, ln_factorial};
+
+/// Poisson distribution with rate `λ > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bib_analysis::Poisson;
+/// let d = Poisson::new(199.0 / 198.0); // the rate appearing in Lemma 3.2
+/// assert!((d.pmf(0) - (-199.0f64 / 198.0).exp()).abs() < 1e-15);
+/// assert!((d.cdf(1_000) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution; panics unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "Poisson rate must be positive and finite, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The rate parameter λ (also the mean and the variance).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass `Pr[X = k] = e^{−λ} λ^k / k!`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Natural logarithm of the pmf, stable for large `k` or `λ`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// Cumulative distribution `Pr[X ≤ k] = Q(k + 1, λ)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        gamma_q(k as f64 + 1.0, self.lambda)
+    }
+
+    /// Survival function `Pr[X > k] = 1 − cdf(k)`, evaluated without
+    /// catastrophic cancellation (it is itself a regularised gamma value).
+    pub fn sf(&self, k: u64) -> f64 {
+        crate::special::gamma_p(k as f64 + 1.0, self.lambda)
+    }
+
+    /// Tail probability `Pr[X ≥ k]`.
+    ///
+    /// This is the quantity appearing in Lemma 3.2:
+    /// `Pr{Poi(199/198) ≥ k}`.
+    pub fn tail(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            self.sf(k - 1)
+        }
+    }
+
+    /// Smallest `k` such that `cdf(k) ≥ p`; a quantile function.
+    ///
+    /// Panics unless `p ∈ [0, 1)`. Runs in `O(k*)` time starting from the
+    /// mean, which is ample for the moderate rates used here.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..1.0).contains(&p), "quantile: p={p} out of [0,1)");
+        let mut k = self.lambda.floor().max(0.0) as u64;
+        // Walk down while still above p, then walk up while below.
+        while k > 0 && self.cdf(k - 1) >= p {
+            k -= 1;
+        }
+        while self.cdf(k) < p {
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Binomial distribution with `n` trials and success probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use bib_analysis::Binomial;
+/// let d = Binomial::new(4, 0.5);
+/// assert!((d.pmf(2) - 0.375).abs() < 1e-14);
+/// assert!((d.cdf(4) - 1.0).abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution; panics unless `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Binomial p must be in [0,1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass `Pr[X = k] = C(n, k) p^k (1−p)^{n−k}`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        self.ln_pmf(k).exp()
+    }
+
+    /// Natural logarithm of the pmf (finite only for `0 ≤ k ≤ n` and
+    /// `p ∈ (0, 1)`).
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k.min(self.n)) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Cumulative distribution `Pr[X ≤ k] = I_{1−p}(n − k, k + 1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        beta_inc((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// Survival function `Pr[X > k]`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        // Pr[X > k] = I_p(k + 1, n − k).
+        beta_inc(k as f64 + 1.0, (self.n - k) as f64, self.p)
+    }
+
+    /// Tail probability `Pr[X ≥ k]`, the quantity bounded in Lemma 3.2
+    /// (`Pr{Bin(n/2, 1/n) ≥ 2} ≥ 1/20`).
+    pub fn tail(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            self.sf(k - 1)
+        }
+    }
+
+    /// Total-variation distance to a Poisson with the same mean, computed
+    /// by direct summation over the effective support.
+    ///
+    /// Le Cam's inequality guarantees this is at most `2 n p²`; the test
+    /// suite verifies our computation against that bound, and experiments
+    /// use it to report the quality of the paper's Poissonisation step.
+    pub fn tv_distance_to_poisson(&self) -> f64 {
+        let poi = Poisson::new(self.mean().max(f64::MIN_POSITIVE));
+        // Sum |pmf difference| over a support that captures all but ~1e-14
+        // of both masses.
+        let hi = {
+            let mean = self.mean();
+            let spread = 12.0 * (self.variance().max(mean) + 1.0).sqrt();
+            ((mean + spread).ceil() as u64).min(self.n).max(32)
+        };
+        let mut acc = 0.0;
+        for k in 0..=hi {
+            acc += (self.pmf(k) - poi.pmf(k)).abs();
+        }
+        // Remaining tail mass of both distributions.
+        acc += self.sf(hi) + poi.sf(hi);
+        0.5 * acc
+    }
+}
+
+/// Geometric distribution on `{1, 2, 3, …}` — the number of Bernoulli(`p`)
+/// trials up to and including the first success.
+///
+/// This is exactly the law of the number of bin samples a single ball
+/// makes under the `threshold`/`adaptive` protocols while the set of
+/// accepting bins is static, and the engine-equivalence tests in
+/// `bib-core` rely on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution; panics unless `p ∈ (0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "Geometric p must be in (0,1], got {p}");
+        Self { p }
+    }
+
+    /// Success probability per trial.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean number of trials `1/p`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Probability mass `Pr[X = k] = (1−p)^{k−1} p` for `k ≥ 1`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        (1.0 - self.p).powi((k - 1) as i32) * self.p
+    }
+
+    /// Cumulative distribution `Pr[X ≤ k] = 1 − (1−p)^k`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 - self.p).powi(k as i32)
+    }
+
+    /// Survival function `Pr[X > k] = (1−p)^k`.
+    pub fn sf(&self, k: u64) -> f64 {
+        (1.0 - self.p).powi(k as i32)
+    }
+}
+
+/// Hypergeometric distribution: drawing `k` items without replacement
+/// from a population of `n` containing `s` marked items; `X` = number of
+/// marked items drawn.
+///
+/// This is exactly the law of `|sample ∩ S|` when `bib-rng`'s
+/// `sample_distinct(n, k)` is intersected with any fixed set `S` of size
+/// `s` — the statistical contract its GOF test checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hypergeometric {
+    n: u64,
+    s: u64,
+    k: u64,
+}
+
+impl Hypergeometric {
+    /// Creates the distribution; panics unless `s ≤ n` and `k ≤ n`.
+    pub fn new(n: u64, s: u64, k: u64) -> Self {
+        assert!(s <= n, "marked items s={s} exceed population n={n}");
+        assert!(k <= n, "draws k={k} exceed population n={n}");
+        Self { n, s, k }
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Marked items.
+    pub fn s(&self) -> u64 {
+        self.s
+    }
+
+    /// Draws.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Mean `k·s/n`.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.k as f64 * self.s as f64 / self.n as f64
+        }
+    }
+
+    /// Support bounds `[max(0, k+s−n), min(k, s)]`.
+    pub fn support(&self) -> (u64, u64) {
+        (
+            (self.k + self.s).saturating_sub(self.n),
+            self.k.min(self.s),
+        )
+    }
+
+    /// Probability mass `Pr[X = x] = C(s,x)·C(n−s,k−x)/C(n,k)`.
+    pub fn pmf(&self, x: u64) -> f64 {
+        let (lo, hi) = self.support();
+        if x < lo || x > hi {
+            return 0.0;
+        }
+        (crate::special::ln_choose(self.s, x)
+            + crate::special::ln_choose(self.n - self.s, self.k - x)
+            - crate::special::ln_choose(self.n, self.k))
+        .exp()
+    }
+
+    /// Cumulative distribution by direct summation over the (small)
+    /// support.
+    pub fn cdf(&self, x: u64) -> f64 {
+        let (lo, _) = self.support();
+        (lo..=x.min(self.support().1)).map(|j| self.pmf(j)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for &lam in &[0.1, 0.5, 199.0 / 198.0, 5.0, 50.0] {
+            let d = Poisson::new(lam);
+            let sum: f64 = (0..2000).map(|k| d.pmf(k)).sum();
+            assert!(close(sum, 1.0, 1e-10), "λ={lam} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn poisson_cdf_matches_partial_sums() {
+        let d = Poisson::new(3.7);
+        let mut acc = 0.0;
+        for k in 0..40u64 {
+            acc += d.pmf(k);
+            assert!(close(d.cdf(k), acc, 1e-11), "k={k}");
+            assert!(close(d.sf(k), 1.0 - acc, 1e-9), "k={k}");
+        }
+    }
+
+    #[test]
+    fn poisson_tail_is_complement() {
+        let d = Poisson::new(2.0);
+        // Identity: tail(k) = 1 − cdf(k−1).
+        for k in 1..20u64 {
+            assert!(close(d.tail(k), 1.0 - d.cdf(k - 1), 1e-10), "k={k}");
+        }
+        assert!(close(d.tail(0), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn poisson_quantile_inverts_cdf() {
+        let d = Poisson::new(7.3);
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            let k = d.quantile(p);
+            assert!(d.cdf(k) >= p, "p={p} k={k}");
+            if k > 0 {
+                assert!(d.cdf(k - 1) < p, "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_additivity() {
+        // Poi(λ1) + Poi(λ2) ~ Poi(λ1+λ2): check via convolution of pmfs.
+        let (a, b) = (Poisson::new(0.5), Poisson::new(100.0 / 198.0));
+        let c = Poisson::new(0.5 + 100.0 / 198.0); // = Poi(199/198), as in Lemma 3.2
+        for k in 0..15u64 {
+            let conv: f64 = (0..=k).map(|i| a.pmf(i) * b.pmf(k - i)).sum();
+            assert!(close(conv, c.pmf(k), 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn poisson_rejects_zero_rate() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.3), (10, 0.5), (100, 0.01), (50, 0.99)] {
+            let d = Binomial::new(n, p);
+            let sum: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+            assert!(close(sum, 1.0, 1e-10), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn binomial_cdf_matches_partial_sums() {
+        let d = Binomial::new(30, 0.2);
+        let mut acc = 0.0;
+        for k in 0..=30u64 {
+            acc += d.pmf(k);
+            assert!(close(d.cdf(k), acc, 1e-10), "k={k}");
+        }
+    }
+
+    #[test]
+    fn binomial_sf_complements_cdf() {
+        let d = Binomial::new(25, 0.37);
+        for k in 0..=25u64 {
+            assert!(close(d.cdf(k) + d.sf(k), 1.0, 1e-11), "k={k}");
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(3), 0.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(9), 0.0);
+        assert_eq!(one.sf(9), 1.0);
+    }
+
+    #[test]
+    fn lemma32_binomial_tail_exceeds_one_twentieth() {
+        // The paper: Pr{Bin(n/2, 1/n) ≥ 2} ≥ (1/2)(1−1/n)^{n−1} ≫ 1/20.
+        for &n in &[64u64, 256, 1024, 65_536] {
+            let d = Binomial::new(n / 2, 1.0 / n as f64);
+            assert!(d.tail(2) > 1.0 / 20.0, "n={n} tail={}", d.tail(2));
+        }
+    }
+
+    #[test]
+    fn binomial_poisson_tv_distance_obeys_le_cam() {
+        for &(n, p) in &[(100u64, 0.01), (1000, 0.001), (50, 0.02)] {
+            let d = Binomial::new(n, p);
+            let tv = d.tv_distance_to_poisson();
+            assert!(tv >= 0.0);
+            assert!(tv <= 2.0 * n as f64 * p * p + 1e-12, "n={n} p={p} tv={tv}");
+        }
+    }
+
+    #[test]
+    fn binomial_poisson_limit_lemma32_quality() {
+        // Bin(n/2, 1/n) → Poi(1/2): at n = 2^16 the pointwise error at
+        // k ≤ 4 must be far below the 1e-10 slack the paper allows.
+        let n = 1u64 << 16;
+        let b = Binomial::new(n / 2, 1.0 / n as f64);
+        let p = Poisson::new(0.5);
+        for k in 0..=4u64 {
+            assert!((b.pmf(k) - p.pmf(k)).abs() < 1e-4, "k={k}");
+        }
+    }
+
+    #[test]
+    fn geometric_basic_identities() {
+        let g = Geometric::new(0.25);
+        assert!(close(g.mean(), 4.0, 1e-15));
+        let sum: f64 = (1..200u64).map(|k| g.pmf(k)).sum();
+        assert!(close(sum, 1.0, 1e-10));
+        for k in 0..50u64 {
+            assert!(close(g.cdf(k) + g.sf(k), 1.0, 1e-12), "k={k}");
+        }
+        assert_eq!(g.pmf(0), 0.0);
+    }
+
+    #[test]
+    fn geometric_certain_success() {
+        let g = Geometric::new(1.0);
+        assert_eq!(g.pmf(1), 1.0);
+        assert_eq!(g.pmf(2), 0.0);
+        assert_eq!(g.cdf(1), 1.0);
+    }
+
+    #[test]
+    fn hypergeometric_pmf_sums_to_one() {
+        for &(n, s, k) in &[(10u64, 4u64, 3u64), (50, 20, 10), (7, 7, 3), (9, 0, 4)] {
+            let d = Hypergeometric::new(n, s, k);
+            let (lo, hi) = d.support();
+            let sum: f64 = (lo..=hi).map(|x| d.pmf(x)).sum();
+            assert!(close(sum, 1.0, 1e-12), "({n},{s},{k}) sum={sum}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // Classic urn: 5 red of 10, draw 4; Pr[X=2] = C(5,2)C(5,2)/C(10,4)
+        // = 100/210.
+        let d = Hypergeometric::new(10, 5, 4);
+        assert!(close(d.pmf(2), 100.0 / 210.0, 1e-12));
+        assert!(close(d.mean(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn hypergeometric_support_edges() {
+        // Draw more than the unmarked count: lower bound > 0.
+        let d = Hypergeometric::new(10, 8, 5);
+        assert_eq!(d.support(), (3, 5));
+        assert_eq!(d.pmf(2), 0.0);
+        assert!(d.pmf(3) > 0.0);
+        assert!(close(d.cdf(5), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_all_marked() {
+        let d = Hypergeometric::new(6, 6, 4);
+        assert_eq!(d.pmf(4), 1.0);
+        assert_eq!(d.support(), (4, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn hypergeometric_rejects_s_above_n() {
+        Hypergeometric::new(5, 6, 2);
+    }
+}

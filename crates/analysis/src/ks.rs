@@ -1,0 +1,140 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit testing.
+//!
+//! Complements the chi-square machinery in [`crate::chisq`]: chi-square
+//! handles discrete samplers (Poisson, binomial, …); the KS test handles
+//! *continuous* ones (the uniform `f64` conversion, exponential and
+//! normal samplers in `bib-rng`). The p-value uses the asymptotic
+//! Kolmogorov distribution with the Stephens finite-sample correction.
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D_n = sup_x |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Sample size.
+    pub n: usize,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`, clamped to `[0, 1]`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "kolmogorov_sf: negative statistic");
+    if lambda < 1e-6 {
+        return 1.0;
+    }
+    if lambda < 1.18 {
+        // The alternating series converges hopelessly slowly for small λ;
+        // use the Jacobi-theta representation of the *cdf* instead:
+        // P(λ) = (√(2π)/λ) Σ_{k odd} e^{−k²π²/(8λ²)}.
+        let t = -(std::f64::consts::PI * std::f64::consts::PI) / (8.0 * lambda * lambda);
+        let cdf = (2.0 * std::f64::consts::PI).sqrt() / lambda
+            * (t.exp() + (9.0 * t).exp() + (25.0 * t).exp() + (49.0 * t).exp());
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100u32 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `data` against the cdf `F` (which must be a
+/// valid cdf of a continuous distribution).
+///
+/// Sorts a copy of the data; panics on empty input or NaNs.
+///
+/// # Examples
+///
+/// ```
+/// use bib_analysis::ks::ks_test;
+/// // A perfect uniform grid fits the uniform cdf…
+/// let grid: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// assert!(ks_test(&grid, |x| x).p_value > 0.99);
+/// // …and grossly misfits a skewed cdf.
+/// assert!(ks_test(&grid, |x| x * x).p_value < 1e-4);
+/// ```
+pub fn ks_test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> KsTest {
+    assert!(!data.is_empty(), "ks_test: empty sample");
+    let mut xs = data.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "ks_test: cdf({x}) = {f} out of [0,1]"
+        );
+        // D⁺ and D⁻ at this order statistic.
+        let d_plus = (i as f64 + 1.0) / n - f;
+        let d_minus = f - i as f64 / n;
+        d = d.max(d_plus).max(d_minus);
+    }
+    // Stephens' correction for finite n.
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsTest {
+        statistic: d,
+        n: xs.len(),
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kolmogorov_sf_known_points() {
+        // Q(λ) at the classic 5% critical value λ ≈ 1.358.
+        assert!((kolmogorov_sf(1.358) - 0.05).abs() < 0.002);
+        assert!(kolmogorov_sf(0.0) == 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Monotone decreasing.
+        assert!(kolmogorov_sf(0.5) > kolmogorov_sf(1.0));
+    }
+
+    #[test]
+    fn perfect_uniform_grid_has_tiny_statistic() {
+        // Points at (i − 0.5)/n minimise D at 1/(2n).
+        let n = 1000usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let r = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        assert!((r.statistic - 0.5 / n as f64).abs() < 1e-12);
+        assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn shifted_sample_is_rejected() {
+        // Uniform data tested against a wrong cdf (squared) must fail.
+        let n = 2000usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let r = ks_test(&data, |x| (x * x).clamp(0.0, 1.0));
+        assert!(r.p_value < 1e-10, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn statistic_invariant_under_monotone_transform() {
+        // KS is distribution-free: exp-transforming data and cdf must
+        // give the same statistic.
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 501) as f64 / 501.0).collect();
+        let r1 = ks_test(&data, |x| x.clamp(0.0, 1.0));
+        let exp_data: Vec<f64> = data.iter().map(|&x| -(1.0 - x).ln()).collect();
+        let r2 = ks_test(&exp_data, |x| (1.0 - (-x).exp()).clamp(0.0, 1.0));
+        assert!((r1.statistic - r2.statistic).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        ks_test(&[], |x| x);
+    }
+}

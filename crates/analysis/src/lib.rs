@@ -1,0 +1,58 @@
+//! Numerical analysis substrate for the balls-into-bins reproduction.
+//!
+//! The SPAA 2013 paper *Balls-into-Bins with Nearly Optimal Load
+//! Distribution* (Berenbrink, Khodamoradi, Sauerwald, Stauffer) leans on a
+//! toolbox of probabilistic facts: exact Poisson and binomial
+//! distributions (used both in the protocol analysis and in the
+//! Poissonisation argument of Lemma A.7), Chernoff/Hoeffding/Azuma-style
+//! concentration bounds (Theorems A.2–A.6), a convolution/majorisation
+//! lemma (Lemma A.1), and a handful of explicit numerical constants
+//! (ε = 1/200, the constant `C1` of Lemma 3.2, the drift constant of
+//! Lemma 3.3).
+//!
+//! This crate implements all of those tools from scratch so that
+//!
+//! * the simulation crates can report exact tail probabilities and
+//!   confidence intervals, and
+//! * the test suite can machine-check every numeric claim the paper makes
+//!   ("an evaluation of these expressions numerically yields …").
+//!
+//! The crate has no dependencies and is `#![forbid(unsafe_code)]`.
+//!
+//! # Module map
+//!
+//! * [`special`] — log-gamma, regularised incomplete gamma and beta
+//!   functions (the kernels behind every cdf here).
+//! * [`dist`] — exact pmf/cdf/sf/quantiles for Poisson, binomial and
+//!   geometric distributions.
+//! * [`bounds`] — evaluators for the concentration inequalities of
+//!   Appendix A (Hoeffding, Azuma, Poisson Chernoff, geometric sums).
+//! * [`convolve`] — sequence convolution and the majorisation order of
+//!   Lemma A.1.
+//! * [`coupon`] — coupon-collector expectations (the `i/n`-threshold
+//!   ablation of Section 2 is a coupon collector in disguise).
+//! * [`stats`] — streaming summary statistics and confidence intervals
+//!   for the experiment harness.
+//! * [`ks`] — one-sample Kolmogorov–Smirnov testing for the continuous
+//!   samplers.
+//! * [`chisq`] — chi-square goodness-of-fit testing, used to validate the
+//!   samplers in `bib-rng` against the exact distributions implemented
+//!   here.
+//! * [`paper`] — the paper's explicit constants, computed rather than
+//!   transcribed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod chisq;
+pub mod convolve;
+pub mod coupon;
+pub mod dist;
+pub mod ks;
+pub mod paper;
+pub mod special;
+pub mod stats;
+
+pub use dist::{Binomial, Geometric, Poisson};
+pub use stats::{Summary, Welford};

@@ -1,0 +1,408 @@
+//! Streaming summary statistics and confidence intervals.
+//!
+//! The paper's Figure 3 plots *averages over 100 simulations*; the
+//! experiment harness additionally reports standard errors and normal
+//! confidence intervals so that the reproduced shapes can be judged
+//! against run-to-run noise.
+
+use crate::special::normal_quantile;
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable single-pass accumulation; mergeable so the parallel
+/// replication harness can combine per-thread partials deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use bib_analysis::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { w.push(x); }
+/// assert_eq!(w.count(), 4);
+/// assert!((w.mean() - 2.5).abs() < 1e-12);
+/// assert!((w.sample_variance() - 5.0/3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n−1` denominator); 0 with fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s/√n`.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided normal confidence interval for the mean at the given
+    /// confidence level, e.g. `0.95`. Returns `(lo, hi)`.
+    ///
+    /// Uses the normal approximation, which is what the 100-replicate
+    /// averages of Figure 3 warrant.
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+        if self.count < 2 {
+            return (self.mean, self.mean);
+        }
+        let z = normal_quantile(0.5 + level / 2.0);
+        let half = z * self.standard_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Two-sided **Student-t** confidence interval for the mean — the
+    /// statistically correct choice at the small replicate counts
+    /// (10–30) most experiments here use. Returns `(lo, hi)`.
+    pub fn confidence_interval_t(&self, level: f64) -> (f64, f64) {
+        assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+        if self.count < 2 {
+            return (self.mean, self.mean);
+        }
+        let df = (self.count - 1) as f64;
+        let t = crate::special::student_t_quantile(df, 0.5 + level / 2.0);
+        let half = t * self.standard_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Finalises into an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            stddev: self.sample_stddev(),
+            stderr: self.standard_error(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl std::iter::FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+/// Immutable summary of a sample: count, mean, spread and range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub stddev: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} ± {:.6} (sd {:.6}, range [{:.6}, {:.6}])",
+            self.count, self.mean, self.stderr, self.stddev, self.min, self.max
+        )
+    }
+}
+
+/// Returns the `q`-th quantile (`0 ≤ q ≤ 1`) of a sample using linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+///
+/// Sorts a copy of the data; panics on an empty slice.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q={q} out of [0,1]");
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let h = (v.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Median convenience wrapper over [`quantile`].
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Ordinary least squares fit of `y = a + b·x`; returns `(a, b, r²)`.
+///
+/// Experiments use this to fit, e.g., threshold's excess allocation time
+/// against `m^{3/4} n^{1/4}` (Theorem 4.1) or adaptive's gap against
+/// `log n` (Corollary 3.5).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    assert!(xs.len() >= 2, "linear_fit: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "linear_fit: degenerate x values");
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+/// Power-law fit `y = c·x^α` via OLS in log-log space; returns
+/// `(c, α, r²)`.
+///
+/// Panics if any input is non-positive (no logarithm). Used by the
+/// Lemma 4.2 experiment to report the *measured* exponents of Ψ and the
+/// gap against the paper's 9/8 and 1/8 lower bounds.
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "power_fit: length mismatch");
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "power_fit: non-positive x {x}");
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0, "power_fit: non-positive y {y}");
+            y.ln()
+        })
+        .collect();
+    let (a, b, r2) = linear_fit(&lx, &ly);
+    (a.exp(), b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_fit_recovers_exact_power_law() {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x.powf(1.125)).collect();
+        let (c, alpha, r2) = power_fit(&xs, &ys);
+        assert!((c - 3.5).abs() < 1e-9);
+        assert!((alpha - 1.125).abs() < 1e-10);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn power_fit_rejects_non_positive() {
+        power_fit(&[1.0, 0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn welford_single_observation() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 42.0);
+        assert_eq!(w.max(), 42.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let w: Welford = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.sample_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Welford = data.iter().copied().collect();
+        for split in [0usize, 1, 28, 56, 57] {
+            let mut a: Welford = data[..split].iter().copied().collect();
+            let b: Welford = data[split..].iter().copied().collect();
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-10, "split={split}");
+            assert!(
+                (a.sample_variance() - whole.sample_variance()).abs() < 1e-9,
+                "split={split}"
+            );
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn confidence_interval_widens_with_level() {
+        let w: Welford = (0..50).map(|i| i as f64).collect();
+        let (l90, h90) = w.confidence_interval(0.90);
+        let (l99, h99) = w.confidence_interval(0.99);
+        assert!(l99 < l90 && h99 > h90);
+        assert!(l90 < w.mean() && w.mean() < h90);
+    }
+
+    #[test]
+    fn t_interval_wider_than_normal_at_small_n() {
+        let w: Welford = (0..8).map(|i| i as f64).collect();
+        let (ln, hn) = w.confidence_interval(0.95);
+        let (lt, ht) = w.confidence_interval_t(0.95);
+        assert!(lt < ln && ht > hn, "t interval must be wider at n = 8");
+        // And they converge for large n.
+        let big: Welford = (0..5000).map(|i| (i % 100) as f64).collect();
+        let (ln, hn) = big.confidence_interval(0.95);
+        let (lt, ht) = big.confidence_interval_t(0.95);
+        assert!((ln - lt).abs() < 1e-3 && (hn - ht).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_and_median() {
+        let data = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((median(&data) - 2.5).abs() < 1e-15);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_for_noise() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x + if (*x as u64).is_multiple_of(2) { 1.0 } else { -1.0 }).collect();
+        let (_, b, r2) = linear_fit(&xs, &ys);
+        assert!(b > 0.9 && b < 1.1);
+        assert!(r2 < 1.0 && r2 > 0.9);
+    }
+
+    #[test]
+    fn summary_display_is_readable() {
+        let w: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        let s = format!("{}", w.summary());
+        assert!(s.contains("n=3"));
+        assert!(s.contains("mean=2"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the numerical analysis substrate.
+
+use bib_analysis::convolve::{
+    convolve, is_non_increasing, lemma_a1_dot_products, majorizes, majorizes_with_tol,
+};
+use bib_analysis::special::{beta_inc, gamma_p, gamma_q, ln_factorial, ln_gamma, normal_cdf};
+use bib_analysis::stats::{linear_fit, quantile};
+use bib_analysis::{Binomial, Geometric, Poisson, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn gamma_recurrence(x in 0.05f64..500.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x={x}");
+    }
+
+    /// ln k! is monotone and matches the product form for small k.
+    #[test]
+    fn ln_factorial_monotone(k in 0u64..10_000) {
+        prop_assert!(ln_factorial(k + 1) >= ln_factorial(k));
+        prop_assert!((ln_factorial(k + 1) - ln_factorial(k) - ((k + 1) as f64).ln()).abs() < 1e-8);
+    }
+
+    /// P(a,x) + Q(a,x) = 1 over a broad domain.
+    #[test]
+    fn gamma_pq_complement(a in 0.05f64..200.0, x in 0.0f64..400.0) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "a={a} x={x} s={s}");
+    }
+
+    /// P(a,·) is a cdf: monotone in x, 0 at 0, → 1.
+    #[test]
+    fn gamma_p_monotone(a in 0.1f64..100.0, x in 0.0f64..200.0, dx in 0.0f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx) + 1e-12 >= gamma_p(a, x));
+    }
+
+    /// Incomplete beta symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+    #[test]
+    fn beta_symmetry(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0.0f64..=1.0) {
+        let lhs = beta_inc(a, b, x);
+        let rhs = 1.0 - beta_inc(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "a={a} b={b} x={x}");
+    }
+
+    /// Poisson cdf equals the pmf partial sum (cross-implementation
+    /// identity: continued fraction vs direct series).
+    #[test]
+    fn poisson_cdf_consistency(lambda in 0.01f64..60.0, k in 0u64..80) {
+        let d = Poisson::new(lambda);
+        let direct: f64 = (0..=k).map(|j| d.pmf(j)).sum();
+        prop_assert!((d.cdf(k) - direct).abs() < 1e-8, "λ={lambda} k={k}");
+    }
+
+    /// Binomial cdf equals the pmf partial sum.
+    #[test]
+    fn binomial_cdf_consistency(n in 1u64..150, p in 0.0f64..=1.0, kf in 0.0f64..=1.0) {
+        let k = ((n as f64) * kf) as u64;
+        let d = Binomial::new(n, p);
+        let direct: f64 = (0..=k).map(|j| d.pmf(j)).sum();
+        prop_assert!((d.cdf(k) - direct).abs() < 1e-8, "n={n} p={p} k={k}");
+    }
+
+    /// Geometric: sf(k) = (1−p)^k exactly matches 1 − cdf(k).
+    #[test]
+    fn geometric_sf_cdf(p in 0.01f64..=1.0, k in 0u64..200) {
+        let g = Geometric::new(p);
+        prop_assert!((g.sf(k) - (1.0 - g.cdf(k))).abs() < 1e-10);
+    }
+
+    /// Normal cdf is monotone and symmetric.
+    #[test]
+    fn normal_cdf_properties(x in -8.0f64..8.0, dx in 0.0f64..2.0) {
+        prop_assert!(normal_cdf(x + dx) + 1e-12 >= normal_cdf(x));
+        prop_assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-10);
+    }
+
+    /// Convolution of probability vectors is a probability vector, and
+    /// the sum's tail majorises each summand's tail shifted by 0 (i.e.
+    /// X + Y stochastically dominates X when Y ≥ 0).
+    #[test]
+    fn convolution_properties(
+        p in prop::collection::vec(0.0f64..1.0, 1..12),
+        q in prop::collection::vec(0.0f64..1.0, 1..12),
+    ) {
+        let sp: f64 = p.iter().sum();
+        let sq: f64 = q.iter().sum();
+        prop_assume!(sp > 0.0 && sq > 0.0);
+        let p: Vec<f64> = p.iter().map(|x| x / sp).collect();
+        let q: Vec<f64> = q.iter().map(|x| x / sq).collect();
+        let c = convolve(&p, &q);
+        let total: f64 = c.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert_eq!(c.len(), p.len() + q.len() - 1);
+        // Stochastic dominance: P[X+Y ≥ j] ≥ P[X ≥ j] (Y ≥ 0 a.s.).
+        prop_assert!(majorizes_with_tol(&c, &p, 1e-9));
+    }
+
+    /// Lemma A.1 verified on random instances: whenever the premises
+    /// hold, the conclusion holds.
+    #[test]
+    fn lemma_a1_random_instances(
+        q in prop::collection::vec(0.0f64..1.0, 2..10),
+        shift in prop::collection::vec(0.0f64..0.3, 2..10),
+        r0 in 0.1f64..5.0,
+        decay in 0.3f64..1.0,
+    ) {
+        // Build p by moving mass upward from q (guarantees p majorises q
+        // after normalising consistently): p_k = q_k adjusted by pushing
+        // `shift` mass from cell k to cell k+1.
+        let len = q.len().min(shift.len());
+        let s: f64 = q[..len].iter().sum();
+        prop_assume!(s > 0.0);
+        let q: Vec<f64> = q[..len].iter().map(|x| x / s).collect();
+        let mut p = q.clone();
+        p.push(0.0);
+        for k in 0..len {
+            let moved = (q[k] * shift[k]).min(p[k]);
+            p[k] -= moved;
+            p[k + 1] += moved;
+        }
+        // Non-increasing r.
+        let r: Vec<f64> = (0..p.len()).map(|k| r0 * decay.powi(k as i32)).collect();
+        prop_assert!(majorizes(&p, &q));
+        prop_assert!(is_non_increasing(&r));
+        let (dp, dq) = lemma_a1_dot_products(&p, &q, &r);
+        prop_assert!(dp <= dq + 1e-9, "dp={dp} dq={dq}");
+    }
+
+    /// Welford merge associativity/equivalence on arbitrary splits.
+    #[test]
+    fn welford_merge_any_split(
+        data in prop::collection::vec(-1e6f64..1e6, 1..100),
+        cut in 0usize..100,
+    ) {
+        let cut = cut.min(data.len());
+        let whole: Welford = data.iter().copied().collect();
+        let mut left: Welford = data[..cut].iter().copied().collect();
+        let right: Welford = data[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                < 1e-5 * (1.0 + whole.sample_variance().abs())
+        );
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantile_monotone(
+        data in prop::collection::vec(-1e3f64..1e3, 1..50),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&data, lo);
+        let b = quantile(&data, hi);
+        prop_assert!(a <= b + 1e-12);
+        let mn = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= mn - 1e-12 && b <= mx + 1e-12);
+    }
+
+    /// Linear fit recovers exact affine relationships.
+    #[test]
+    fn linear_fit_exact(a in -100.0f64..100.0, b in -100.0f64..100.0, n in 3usize..50) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
+        let (ah, bh, r2) = linear_fit(&xs, &ys);
+        prop_assert!((ah - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((bh - b).abs() < 1e-6 * (1.0 + b.abs()));
+        prop_assert!(r2 > 1.0 - 1e-9 || b.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion: **E11 engine ablation** — the naive retry loop vs the
+//! geometric-jump engine, across load levels.
+//!
+//! The two engines are distributionally identical (see
+//! `bib-core::sampler`); this bench quantifies the wall-clock win that
+//! justifies the jump engine's existence, especially at high ϕ where
+//! `threshold` wastes many samples near the end of a run.
+
+use bib_core::prelude::*;
+use bib_rng::SeedSequence;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 2048usize;
+    for phi in [1u64, 16, 256] {
+        let m = phi * n as u64;
+        let mut group = c.benchmark_group(format!("engines/phi={phi}"));
+        group.throughput(Throughput::Elements(m));
+        for (label, engine) in [("naive", Engine::Naive), ("jump", Engine::Jump)] {
+            for proto in [
+                Box::new(Adaptive::paper()) as Box<dyn Protocol>,
+                Box::new(Threshold),
+            ] {
+                let cfg = RunConfig::new(n, m).with_engine(engine);
+                group.bench_with_input(
+                    BenchmarkId::new(proto.name(), label),
+                    &cfg,
+                    |b, cfg| {
+                        let mut seed = 0u64;
+                        b.iter(|| {
+                            seed += 1;
+                            let mut rng = SeedSequence::new(seed).rng();
+                            proto.allocate(cfg, &mut rng, &mut NullObserver)
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: cost of evaluating the Section 2 potential functions on
+//! large load vectors.
+//!
+//! The stage-trace observer evaluates Ψ and ln Φ every `n` balls; this
+//! bench confirms those evaluations are linear-time and cheap enough to
+//! leave tracing on in experiments.
+
+use bib_core::potential::{
+    exponential_potential, gap, ln_exponential_potential, quadratic_potential, EPSILON,
+};
+use bib_rng::{RngExt, SeedSequence};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn make_loads(n: usize) -> Vec<u32> {
+    let mut rng = SeedSequence::new(42).rng();
+    (0..n).map(|_| 100 + rng.range_u64(16) as u32).collect()
+}
+
+fn bench_potentials(c: &mut Criterion) {
+    for n in [1usize << 12, 1 << 16, 1 << 20] {
+        let loads = make_loads(n);
+        let t: u64 = loads.iter().map(|&l| l as u64).sum();
+        let mut group = c.benchmark_group("potentials");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("quadratic", n), &loads, |b, l| {
+            b.iter(|| quadratic_potential(l, t))
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", n), &loads, |b, l| {
+            b.iter(|| exponential_potential(l, t, EPSILON))
+        });
+        group.bench_with_input(BenchmarkId::new("ln_exponential", n), &loads, |b, l| {
+            b.iter(|| ln_exponential_potential(l, t, EPSILON))
+        });
+        group.bench_with_input(BenchmarkId::new("gap", n), &loads, |b, l| {
+            b.iter(|| gap(l))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_potentials
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion: generator and sampler throughput.
+//!
+//! Every protocol sample is one `range_u64` call; the simulator's
+//! ceiling is therefore the RNG's. This bench compares the three
+//! generator families and the distribution samplers the engines use.
+
+use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler, PoissonSampler, Zipf};
+use bib_rng::{Pcg32, Rng64, RngExt, SplitMix64, Xoshiro256PlusPlus, Xoshiro256StarStar};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng/next_u64");
+    group.throughput(Throughput::Elements(1024));
+    macro_rules! bench_gen {
+        ($name:literal, $g:expr) => {
+            group.bench_function($name, |b| {
+                let mut g = $g;
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..1024 {
+                        acc = acc.wrapping_add(g.next_u64());
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    bench_gen!("splitmix64", SplitMix64::new(1));
+    bench_gen!("xoshiro256++", Xoshiro256PlusPlus::seed_from_u64(1));
+    bench_gen!("xoshiro256**", Xoshiro256StarStar::seed_from_u64(1));
+    bench_gen!("pcg32", Pcg32::new(1, 1));
+    group.finish();
+
+    let mut group = c.benchmark_group("rng/range_u64");
+    group.throughput(Throughput::Elements(1024));
+    for n in [10u64, 10_000, 1 << 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut g = Xoshiro256PlusPlus::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..1024 {
+                    acc = acc.wrapping_add(g.range_u64(n));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng/dist");
+    group.throughput(Throughput::Elements(1024));
+    macro_rules! bench_dist {
+        ($name:expr, $d:expr) => {
+            group.bench_function($name, |b| {
+                let d = $d;
+                let mut g = Xoshiro256PlusPlus::seed_from_u64(1);
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..1024 {
+                        acc = acc.wrapping_add(d.sample(&mut g) as u64);
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    bench_dist!("geometric(0.1)", GeometricSampler::new(0.1));
+    bench_dist!("poisson(1)", PoissonSampler::new(1.0));
+    bench_dist!("poisson(100)", PoissonSampler::new(100.0));
+    bench_dist!("binomial(1000,0.01)", BinomialSampler::new(1000, 0.01));
+    bench_dist!("binomial(1000,0.5)", BinomialSampler::new(1000, 0.5));
+    bench_dist!("zipf(1000,1.0)", Zipf::new(1000, 1.0));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_generators, bench_distributions
+}
+criterion_main!(benches);

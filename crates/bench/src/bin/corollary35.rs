@@ -1,0 +1,54 @@
+//! **E6 — Corollary 3.5**: `adaptive` keeps `E[Φ] = O(n)`, `E[Ψ] = O(n)`
+//! and gap `O(log n)`.
+//!
+//! Sweep `n` at fixed heavy load `ϕ = 32` and report Φ/n, Ψ/n and
+//! gap/log₂(n): all three columns should be flat (bounded) as `n` grows,
+//! and Φ/n should sit far below the paper's worst-case analytic ceiling
+//! (printed for reference from `bib-analysis::paper`).
+//!
+//! ```text
+//! cargo run --release -p bib-bench --bin corollary35 [-- --quick --csv]
+//! ```
+
+use bib_analysis::paper;
+use bib_bench::{f, ExpArgs, Table};
+use bib_core::prelude::*;
+use bib_parallel::replicate::summarize_metric;
+use bib_parallel::{replicate_outcomes, ReplicateSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ns: Vec<usize> = args.pick(
+        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17],
+        vec![1 << 8, 1 << 10],
+    );
+    let phi_load = 32u64;
+    let reps = args.reps_or(20, 5);
+
+    let consts = paper::constants();
+    println!("# Corollary 3.5: adaptive smoothness vs n at phi = {phi_load}; {reps} reps");
+    println!("# analytic ceiling from the paper's constants: E[Phi]/n <= {}\n", f(consts.phi_over_n));
+
+    let mut table = Table::new(vec!["n", "phi/n", "psi/n", "gap", "gap/log2(n)"]);
+    for &n in &ns {
+        let m = phi_load * n as u64;
+        let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
+        let outs =
+            replicate_outcomes(&Adaptive::paper(), &cfg, &ReplicateSpec::new(reps, args.seed));
+        let phi = summarize_metric(&outs, |o| o.phi() / n as f64);
+        let psi = summarize_metric(&outs, |o| o.psi() / n as f64);
+        let gap = summarize_metric(&outs, |o| o.gap() as f64);
+        let lg = (n as f64).log2();
+        table.row(vec![
+            n.to_string(),
+            f(phi.mean),
+            f(psi.mean),
+            f(gap.mean),
+            f(gap.mean / lg),
+        ]);
+    }
+
+    table.print(&args);
+    println!("\n# Expected shape: phi/n and psi/n flat in n; gap growing at most like log n");
+    println!("# (gap/log2(n) bounded).");
+}

@@ -1,0 +1,71 @@
+//! **E10 — cuckoo-hashing thresholds** (the §1 reallocation discussion,
+//! \[8\]).
+//!
+//! For `d = 2` choices and bucket sizes `k ∈ {1, 2, 4, 8}`, fill a table
+//! and report the average eviction ("kick") cost in load-factor bands.
+//! The known (2, k) thresholds — ≈ 0.5 for k = 1, rising towards 1 for
+//! larger k — show up as the load factor where the kick cost explodes
+//! and the stash starts filling.
+//!
+//! ```text
+//! cargo run --release -p bib-bench --bin cuckoo_thresholds [-- --quick --csv]
+//! ```
+
+use bib_bench::{f, ExpArgs, Table};
+use bib_reloc::{CuckooTable, InsertError};
+use bib_rng::SeedSequence;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let slots = args.pick(1usize << 16, 1usize << 12); // total capacity k·nbuckets
+    let ks: Vec<usize> = args.pick(vec![1, 2, 4, 8], vec![1, 4]);
+    let bands: Vec<f64> = vec![0.30, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.98];
+
+    println!("# Cuckoo (d = 2) insertion cost by load-factor band; capacity {slots} slots\n");
+    let mut table = Table::new(vec!["k", "band_end", "avg_kicks", "stash", "fail_frac"]);
+
+    for &k in &ks {
+        let nbuckets = slots / k;
+        let mut t = CuckooTable::new(nbuckets, k, 2, args.seed).with_max_kicks(2_000);
+        let mut rng = SeedSequence::new(args.seed).child(k as u64).rng();
+        let mut key = 0u64;
+        let mut prev_frac = 0.0f64;
+        for &band in &bands {
+            let target = (band * slots as f64) as usize;
+            let mut kicks = 0u64;
+            let mut inserts = 0u64;
+            let mut fails = 0u64;
+            while t.len() < target {
+                key += 1;
+                inserts += 1;
+                match t.insert(key, &mut rng) {
+                    Ok(c) => kicks += c,
+                    Err(InsertError::KickBudgetExhausted { kicks: c }) => {
+                        kicks += c;
+                        fails += 1;
+                    }
+                    Err(InsertError::DuplicateKey) => unreachable!(),
+                }
+            }
+            table.row(vec![
+                k.to_string(),
+                format!("{band:.2}"),
+                f(kicks as f64 / inserts.max(1) as f64),
+                t.stash_len().to_string(),
+                f(fails as f64 / inserts.max(1) as f64),
+            ]);
+            prev_frac = band;
+            // Past the threshold everything lands in the stash — stop
+            // this k once failures dominate.
+            if fails > inserts / 2 {
+                break;
+            }
+        }
+        let _ = prev_frac;
+    }
+
+    table.print(&args);
+    println!("\n# Expected shape: kick cost ~0 at low load, exploding near the (2,k)");
+    println!("# threshold (~0.5 for k=1, ~0.90+ for k=4, ~0.96+ for k=8); the stash");
+    println!("# only starts filling past the threshold.");
+}

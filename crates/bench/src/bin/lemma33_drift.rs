@@ -1,0 +1,122 @@
+//! **Lemmas 3.3/3.4 — the potential drift, observed directly.**
+//!
+//! The heart of the paper's analysis: whenever `Φ(L^τ) ≥ ρ_n`, one stage
+//! of `adaptive` contracts the expected exponential potential:
+//! `E[Φ(L^{τ+1})] ≤ (1 − κ/2)·Φ(L^τ)` with κ ≈ 1.27·10⁻⁵.
+//!
+//! We start from *adversarially imbalanced* load vectors — half the bins
+//! `2d` high, half empty, with `d` chosen so Φ₀/n hits a target level —
+//! and run adaptive stages (n balls at the stage-consistent acceptance
+//! bound), tracking Φ/n. Expected physics: underloaded bins receive ≈ 2
+//! balls per stage while the average rises by 1, so each hole shrinks by
+//! ≈ 1 level per stage and Φ contracts by ≈ 1 − (1+ε)⁻¹ ≈ ε/(1+ε) ≈
+//! 0.5% per stage — geometric decay, two to three orders of magnitude
+//! stronger than the paper's worst-case κ/2, but visibly *slow*, which
+//! is exactly why the paper's drift argument needs the exponential
+//! potential rather than a cruder one.
+//!
+//! ```text
+//! cargo run --release -p bib-bench --bin lemma33_drift [-- --quick --csv]
+//! ```
+
+use bib_analysis::paper;
+use bib_bench::{f, ExpArgs, Table};
+use bib_core::partitioned::PartitionedBins;
+use bib_core::potential::{exponential_potential, EPSILON};
+use bib_core::protocol::Engine;
+use bib_core::sampler::place_below;
+use bib_rng::SeedSequence;
+
+/// Half the bins at `2d`, half empty: `t/n = d` exactly, and
+/// `Φ/n ≈ (1+ε)^{d+2}/2`, so `d = ⌈log_{1+ε}(2·target)⌉ − 2` hits the
+/// requested level.
+fn imbalanced_start(n: usize, target_phi_over_n: f64) -> (Vec<u32>, u32) {
+    let d = (((2.0 * target_phi_over_n).ln() / (1.0 + EPSILON).ln()).ceil() as u32)
+        .saturating_sub(2)
+        .max(2);
+    let mut loads = vec![0u32; n];
+    for l in loads.iter_mut().skip(n / 2) {
+        *l = 2 * d;
+    }
+    (loads, d)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.pick(4_096usize, 512usize);
+    let reps = args.reps_or(5, 2);
+    let consts = paper::constants();
+
+    println!("# Lemma 3.3/3.4: per-stage contraction of Phi from imbalanced starts; n = {n}, {reps} reps");
+    println!(
+        "# paper worst-case guarantee: contraction ≥ κ/2 = {} per stage while Phi ≥ ρ_n = {}·n",
+        f(consts.kappa / 2.0),
+        f(consts.rho_over_n)
+    );
+    println!("# naive drift estimate for this start shape: ≈ ε/(1+ε) = {}\n", f(EPSILON / (1.0 + EPSILON)));
+
+    let mut table = Table::new(vec![
+        "phi0/n",
+        "stage",
+        "phi/n",
+        "per-stage contraction",
+        "vs kappa/2",
+    ]);
+
+    for &target in args.pick(&[16.0, 256.0, 4096.0][..], &[16.0, 256.0][..]) {
+        let (start, d) = imbalanced_start(n, target);
+        let horizon = args.pick(3 * d, d.min(60));
+        let checkpoints: Vec<u32> = {
+            let mut v = vec![1, 2, 5];
+            let mut s = 10;
+            while s < horizon {
+                v.push(s);
+                s *= 2;
+            }
+            v.push(horizon);
+            v
+        };
+        let mut mean_phi: Vec<f64> = vec![0.0; horizon as usize + 1];
+        for rep in 0..reps {
+            let mut rng = SeedSequence::new(args.seed)
+                .child(target as u64)
+                .child(rep)
+                .rng();
+            let mut bins = PartitionedBins::from_loads(start.clone());
+            mean_phi[0] += exponential_potential(bins.as_slice(), bins.total(), EPSILON)
+                / n as f64
+                / reps as f64;
+            // Continue the adaptive schedule: the start has t = d·n, so
+            // the next stage is d + 1 with acceptance bound d + 2.
+            for s in 1..=horizon {
+                let bound = d + s + 1;
+                for _ in 0..n {
+                    place_below(&mut bins, bound, Engine::Jump, &mut rng);
+                }
+                mean_phi[s as usize] +=
+                    exponential_potential(bins.as_slice(), bins.total(), EPSILON)
+                        / n as f64
+                        / reps as f64;
+            }
+        }
+        let mut prev_cp = 0u32;
+        for &cp in &checkpoints {
+            let span = (cp - prev_cp) as f64;
+            let ratio = mean_phi[cp as usize] / mean_phi[prev_cp as usize];
+            let per_stage = 1.0 - ratio.powf(1.0 / span);
+            table.row(vec![
+                f(target),
+                cp.to_string(),
+                f(mean_phi[cp as usize]),
+                f(per_stage),
+                f(per_stage / (consts.kappa / 2.0)),
+            ]);
+            prev_cp = cp;
+        }
+    }
+
+    table.print(&args);
+    println!("\n# Expected shape: phi/n decays geometrically at every level (contraction");
+    println!("# ≈ 0.005 ≈ ε per stage, hundreds of times the paper's worst-case κ/2),");
+    println!("# eventually approaching the O(1) fixed point of Corollary 3.5.");
+}

@@ -1,0 +1,238 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (see DESIGN.md §4 for the experiment index). This small library holds
+//! what they share: command-line handling and aligned-table/CSV output.
+//!
+//! All binaries accept:
+//!
+//! * `--quick` — shrink sizes/replicates for a fast smoke run;
+//! * `--seed <u64>` — master seed (default 2013);
+//! * `--reps <u64>` — override the replicate count;
+//! * `--csv` — emit machine-readable CSV instead of an aligned table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Shrink the experiment for a smoke run.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Replicate-count override.
+    pub reps: Option<u64>,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 2013,
+            reps: None,
+            csv: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, panicking with a usage message on
+    /// unknown flags (these are internal tools; fail loudly).
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a u64");
+                }
+                "--reps" => {
+                    out.reps = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--reps needs a u64"),
+                    );
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --quick --csv --seed <u64> --reps <u64>"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Picks the replicate count: explicit `--reps` wins, else `quick`
+    /// vs `full` defaults.
+    pub fn reps_or(&self, full: u64, quick: u64) -> u64 {
+        self.reps.unwrap_or(if self.quick { quick } else { full })
+    }
+
+    /// Picks any size parameter by mode.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// An aligned text table that can also render as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders aligned text (right-aligned numeric-ish cells).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        s.push_str(&fmt_row(&self.headers, &widths));
+        s.push('\n');
+        s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&fmt_row(row, &widths));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders CSV (no quoting; cells are numeric or simple tokens).
+    pub fn csv(&self) -> String {
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prints in the format selected by `args`.
+    pub fn print(&self, args: &ExpArgs) {
+        if args.csv {
+            print!("{}", self.csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["300", "4"]);
+        let txt = t.render();
+        assert!(txt.contains("long_header"));
+        assert!(txt.lines().count() == 4);
+        let csv = t.csv();
+        assert_eq!(csv, "a,long_header\n1,2\n300,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn args_defaults_and_pick() {
+        let a = ExpArgs::default();
+        assert_eq!(a.seed, 2013);
+        assert_eq!(a.reps_or(100, 5), 100);
+        assert_eq!(a.pick(10, 1), 10);
+        let q = ExpArgs {
+            quick: true,
+            ..ExpArgs::default()
+        };
+        assert_eq!(q.reps_or(100, 5), 5);
+        assert_eq!(q.pick(10, 1), 1);
+        let r = ExpArgs {
+            reps: Some(7),
+            ..ExpArgs::default()
+        };
+        assert_eq!(r.reps_or(100, 5), 7);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.5), "1.5000");
+        assert!(f(1.23e9).contains('e'));
+        assert!(f(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,332 @@
+//! Bins partitioned by load: O(1) placement, O(1) threshold queries.
+//!
+//! The retry loop of `threshold`/`adaptive` needs two queries fast:
+//! *how many* bins currently accept a ball (load below the threshold),
+//! and *pick one* of them uniformly. This structure keeps a permutation
+//! of the bins grouped by load (ascending), with one boundary index per
+//! load level, so both queries and ball placement are O(1).
+//!
+//! Because loads only ever increase during an allocation run, groups only
+//! ever shrink from the left, which keeps the bookkeeping a single swap
+//! per placement — the standard technique for simulating balanced
+//! allocations at scale (needed here for the `m = n²` runs of Lemma 4.2).
+
+use crate::bins::LoadVector;
+use bib_rng::{Rng64, RngExt};
+
+/// Load vector with a grouped-by-load index.
+///
+/// # Examples
+///
+/// ```
+/// use bib_core::partitioned::PartitionedBins;
+/// use bib_rng::SplitMix64;
+///
+/// let mut bins = PartitionedBins::new(4);
+/// bins.place(0);
+/// bins.place(0);
+/// bins.place(2);
+/// assert_eq!(bins.count_below(1), 2);      // bins 1 and 3 are empty
+/// assert_eq!(bins.max_load(), 2);
+/// let mut rng = SplitMix64::new(1);
+/// let open = bins.choose_below(2, &mut rng); // any bin with load < 2
+/// assert!(open != 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedBins {
+    loads: Vec<u32>,
+    /// Bins sorted ascending by load (stable within a group only up to
+    /// swaps).
+    order: Vec<u32>,
+    /// `pos[b]` = index of bin `b` in `order`.
+    pos: Vec<u32>,
+    /// `boundary[l]` = index in `order` of the first bin with load ≥ `l`.
+    /// `boundary[0] = 0`; the vector always has `max_load + 2` entries so
+    /// `boundary[max_load + 1] = n` exists.
+    boundary: Vec<u32>,
+    total: u64,
+}
+
+impl PartitionedBins {
+    /// `n` empty bins; panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "PartitionedBins: need at least one bin");
+        assert!(n <= u32::MAX as usize, "PartitionedBins: too many bins");
+        Self {
+            loads: vec![0; n],
+            order: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            boundary: vec![0, n as u32],
+            total: 0,
+        }
+    }
+
+    /// Builds the index from explicit loads (counting sort, O(n + max)).
+    pub fn from_loads(loads: Vec<u32>) -> Self {
+        assert!(!loads.is_empty(), "PartitionedBins: need at least one bin");
+        let n = loads.len();
+        let max = loads.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max + 2];
+        for &l in &loads {
+            counts[l as usize + 1] += 1;
+        }
+        // Prefix-sum: counts[l] = first order-index of load-l group.
+        for l in 1..counts.len() {
+            counts[l] += counts[l - 1];
+        }
+        let boundary = counts.clone();
+        let mut order = vec![0u32; n];
+        let mut cursor = counts;
+        let mut pos = vec![0u32; n];
+        for (b, &l) in loads.iter().enumerate() {
+            let idx = cursor[l as usize];
+            order[idx as usize] = b as u32;
+            pos[b] = idx;
+            cursor[l as usize] += 1;
+        }
+        let total = loads.iter().map(|&l| l as u64).sum();
+        Self {
+            loads,
+            order,
+            pos,
+            boundary,
+            total,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Balls placed so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Load of bin `b`.
+    #[inline]
+    pub fn load(&self, b: usize) -> u32 {
+        self.loads[b]
+    }
+
+    /// Current maximum load (O(1): the boundary vector's height).
+    pub fn max_load(&self) -> u32 {
+        // boundary has max_load + 2 entries, but trailing groups can be
+        // empty only transiently — they never are, because an entry is
+        // appended exactly when a bin first reaches the new maximum and
+        // loads never decrease.
+        (self.boundary.len() - 2) as u32
+    }
+
+    /// Number of bins with load strictly below `t` — O(1).
+    #[inline]
+    pub fn count_below(&self, t: u32) -> usize {
+        let t = t as usize;
+        if t >= self.boundary.len() {
+            self.n()
+        } else {
+            self.boundary[t] as usize
+        }
+    }
+
+    /// Uniformly random bin among those with load `< t` — O(1).
+    /// Panics if no bin qualifies.
+    #[inline]
+    pub fn choose_below<R: Rng64 + ?Sized>(&self, t: u32, rng: &mut R) -> usize {
+        let k = self.count_below(t);
+        assert!(k > 0, "choose_below: no bin has load < {t}");
+        self.order[rng.range_usize(k)] as usize
+    }
+
+    /// Adds one ball to bin `b` — O(1).
+    #[inline]
+    pub fn place(&mut self, b: usize) {
+        let l = self.loads[b] as usize;
+        // The load-l group spans order[boundary[l] .. boundary[l+1]).
+        let last = self.boundary[l + 1] - 1;
+        let p = self.pos[b];
+        debug_assert!(p <= last && p >= self.boundary[l]);
+        // Swap bin b to the end of its group…
+        let other = self.order[last as usize];
+        self.order.swap(p as usize, last as usize);
+        self.pos[b] = last;
+        self.pos[other as usize] = p;
+        // …and absorb that slot into the (l+1)-group.
+        self.boundary[l + 1] = last;
+        self.loads[b] += 1;
+        self.total += 1;
+        // New global maximum ⇒ extend the boundary vector.
+        if l + 2 == self.boundary.len() {
+            self.boundary.push(self.n() as u32);
+        }
+    }
+
+    /// Read-only view of the loads.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Snapshot as a plain [`LoadVector`].
+    pub fn to_load_vector(&self) -> LoadVector {
+        LoadVector::from_loads(self.loads.clone())
+    }
+
+    /// Internal consistency check (tests and debug assertions): the
+    /// grouped order, positions and boundaries all describe `loads`.
+    pub fn check_invariants(&self) {
+        let n = self.n();
+        assert_eq!(self.order.len(), n);
+        assert_eq!(self.pos.len(), n);
+        assert_eq!(self.boundary[0], 0);
+        assert_eq!(*self.boundary.last().unwrap(), n as u32);
+        // pos inverts order.
+        for (idx, &b) in self.order.iter().enumerate() {
+            assert_eq!(self.pos[b as usize] as usize, idx);
+        }
+        // order is sorted by load and boundaries delimit the groups.
+        for idx in 1..n {
+            assert!(
+                self.loads[self.order[idx - 1] as usize]
+                    <= self.loads[self.order[idx] as usize]
+            );
+        }
+        for (l, w) in self.boundary.windows(2).enumerate() {
+            for idx in w[0]..w[1] {
+                assert_eq!(
+                    self.loads[self.order[idx as usize] as usize] as usize, l,
+                    "bin in wrong group"
+                );
+            }
+        }
+        assert_eq!(
+            self.total,
+            self.loads.iter().map(|&l| l as u64).sum::<u64>()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn new_all_below_one() {
+        let pb = PartitionedBins::new(4);
+        pb.check_invariants();
+        assert_eq!(pb.count_below(1), 4);
+        assert_eq!(pb.count_below(0), 0);
+        assert_eq!(pb.max_load(), 0);
+    }
+
+    #[test]
+    fn place_sequence_keeps_invariants() {
+        let mut pb = PartitionedBins::new(5);
+        for b in [0usize, 0, 3, 3, 3, 1, 4, 0] {
+            pb.place(b);
+            pb.check_invariants();
+        }
+        assert_eq!(pb.load(0), 3);
+        assert_eq!(pb.load(3), 3);
+        assert_eq!(pb.load(2), 0);
+        assert_eq!(pb.total(), 8);
+        assert_eq!(pb.max_load(), 3);
+        assert_eq!(pb.count_below(3), 3); // bins 1, 2, 4
+        assert_eq!(pb.count_below(1), 1); // bin 2
+    }
+
+    #[test]
+    fn count_below_matches_naive_under_random_ops() {
+        let mut pb = PartitionedBins::new(16);
+        let mut naive = crate::bins::LoadVector::new(16);
+        let mut rng = SplitMix64::new(77);
+        use bib_rng::RngExt;
+        for _ in 0..2000 {
+            let b = rng.range_usize(16);
+            pb.place(b);
+            naive.place(b);
+            let t = rng.range_u64(12) as u32;
+            assert_eq!(pb.count_below(t), naive.count_below(t));
+        }
+        pb.check_invariants();
+        assert_eq!(pb.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn choose_below_returns_only_qualifying_bins() {
+        let mut pb = PartitionedBins::new(8);
+        // Load bins 0..4 to height 2.
+        for b in 0..4 {
+            pb.place(b);
+            pb.place(b);
+        }
+        let mut rng = SplitMix64::new(88);
+        for _ in 0..500 {
+            let b = pb.choose_below(1, &mut rng);
+            assert!(b >= 4, "bin {b} has load {}", pb.load(b));
+        }
+        for _ in 0..500 {
+            let b = pb.choose_below(2, &mut rng);
+            assert!(pb.load(b) < 2);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn choose_below_is_uniform_over_group() {
+        let mut pb = PartitionedBins::new(4);
+        pb.place(0); // bin 0 has load 1, others 0
+        let mut rng = SplitMix64::new(99);
+        let mut counts = [0u32; 4];
+        for _ in 0..30_000 {
+            counts[pb.choose_below(1, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for b in 1..4 {
+            assert!((9_000..11_000).contains(&counts[b]), "bin {b}: {}", counts[b]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn choose_below_empty_panics() {
+        let pb = PartitionedBins::new(3);
+        let mut rng = SplitMix64::new(1);
+        pb.choose_below(0, &mut rng);
+    }
+
+    #[test]
+    fn from_loads_matches_incremental() {
+        let loads = vec![2u32, 0, 1, 2, 5, 0];
+        let pb = PartitionedBins::from_loads(loads.clone());
+        pb.check_invariants();
+        assert_eq!(pb.as_slice(), loads.as_slice());
+        assert_eq!(pb.max_load(), 5);
+        assert_eq!(pb.count_below(2), 3);
+        assert_eq!(pb.total(), 10);
+    }
+
+    #[test]
+    fn to_load_vector_round_trip() {
+        let mut pb = PartitionedBins::new(3);
+        pb.place(1);
+        pb.place(1);
+        pb.place(2);
+        let lv = pb.to_load_vector();
+        assert_eq!(lv.as_slice(), &[0, 2, 1]);
+        assert_eq!(lv.total(), 3);
+    }
+
+    #[test]
+    fn single_bin() {
+        let mut pb = PartitionedBins::new(1);
+        for i in 0..10 {
+            assert_eq!(pb.count_below(i + 1), 1);
+            pb.place(0);
+            pb.check_invariants();
+        }
+        assert_eq!(pb.load(0), 10);
+        assert_eq!(pb.max_load(), 10);
+    }
+}

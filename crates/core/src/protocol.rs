@@ -1,0 +1,413 @@
+//! The protocol abstraction: run configuration, outcome record,
+//! observers, and the [`Protocol`] trait every allocation scheme
+//! implements.
+
+use crate::partitioned::PartitionedBins;
+use crate::potential::{
+    exponential_potential, gap, ln_exponential_potential, quadratic_potential, EPSILON,
+};
+use bib_rng::Rng64;
+
+/// Which retry engine a threshold-style protocol uses.
+///
+/// Both engines produce *identically distributed* `(bin, sample-count)`
+/// pairs; see [`crate::sampler`] for the argument and the test suite for
+/// the statistical evidence. `Naive` is the paper's literal process;
+/// `Jump` collapses each retry run into one geometric draw so that
+/// heavily loaded regimes (`m = n²`, Lemma 4.2) stay tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Faithful sample-by-sample retry loop.
+    #[default]
+    Naive,
+    /// Geometric-jump equivalent: draw the number of wasted samples in
+    /// one shot, then pick an accepting bin uniformly.
+    Jump,
+}
+
+/// Configuration of one allocation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Number of bins `n` (≥ 1).
+    pub n: usize,
+    /// Number of balls `m`.
+    pub m: u64,
+    /// Retry engine for threshold-style protocols (ignored by fixed-
+    /// sample protocols such as `greedy[d]`).
+    pub engine: Engine,
+}
+
+impl RunConfig {
+    /// Creates a configuration with the default (naive) engine.
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n > 0, "RunConfig: need at least one bin");
+        Self {
+            n,
+            m,
+            engine: Engine::Naive,
+        }
+    }
+
+    /// Switches to the geometric-jump engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The target height `⌈m/n⌉ + 1` that both paper protocols guarantee
+    /// as a maximum load.
+    pub fn max_load_bound(&self) -> u64 {
+        self.m.div_ceil(self.n as u64) + 1
+    }
+}
+
+/// Hooks for instrumenting a run without touching protocol code.
+///
+/// All methods have no-op defaults. `on_stage_end` fires after every
+/// batch of `n` placed balls (the paper's *stages*), and once more at the
+/// end if `m` is not a multiple of `n`.
+pub trait Observer {
+    /// Called after each ball is placed: its 1-based index, the receiving
+    /// bin, and how many bin samples it consumed.
+    fn on_ball(&mut self, _ball: u64, _bin: usize, _samples: u64) {}
+
+    /// Called at the end of stage `tau` (1-based) with the full state.
+    fn on_stage_end(&mut self, _tau: u64, _bins: &PartitionedBins) {}
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Records Ψ, Φ (as ln Φ), and the gap at every stage boundary.
+///
+/// Drives the smoothness time-series example and the Corollary 3.5 /
+/// Lemma 4.2 experiments.
+#[derive(Debug, Clone, Default)]
+pub struct StageTrace {
+    /// Stage indices (1-based, one entry per record).
+    pub stages: Vec<u64>,
+    /// Quadratic potential at each stage end.
+    pub psi: Vec<f64>,
+    /// Natural log of the exponential potential at each stage end.
+    pub ln_phi: Vec<f64>,
+    /// Max−min gap at each stage end.
+    pub gaps: Vec<u32>,
+}
+
+impl StageTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for StageTrace {
+    fn on_stage_end(&mut self, tau: u64, bins: &PartitionedBins) {
+        let loads = bins.as_slice();
+        let t = bins.total();
+        self.stages.push(tau);
+        self.psi.push(quadratic_potential(loads, t));
+        self.ln_phi.push(ln_exponential_potential(loads, t, EPSILON));
+        self.gaps.push(gap(loads));
+    }
+}
+
+/// Records the per-ball sample counts as a histogram (index = samples−1,
+/// saturating at the last cell).
+#[derive(Debug, Clone)]
+pub struct SampleHistogram {
+    /// `counts[k]` = number of balls that used `k+1` samples
+    /// (last cell = "that many or more").
+    pub counts: Vec<u64>,
+}
+
+impl SampleHistogram {
+    /// Histogram with `cells` cells.
+    pub fn new(cells: usize) -> Self {
+        assert!(cells >= 1);
+        Self {
+            counts: vec![0; cells],
+        }
+    }
+}
+
+impl Observer for SampleHistogram {
+    fn on_ball(&mut self, _ball: u64, _bin: usize, samples: u64) {
+        let idx = ((samples - 1) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+}
+
+/// The result of one allocation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Number of balls placed.
+    pub m: u64,
+    /// Total number of bin samples drawn — the paper's *allocation time*.
+    pub total_samples: u64,
+    /// The largest number of samples any single ball needed.
+    pub max_samples_per_ball: u64,
+    /// Final loads.
+    pub loads: Vec<u32>,
+}
+
+impl Outcome {
+    /// Total balls accounted for in `loads` (must equal `m`; checked by
+    /// [`Outcome::validate`]).
+    pub fn total_balls(&self) -> u64 {
+        self.loads.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Maximum final load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum final load.
+    pub fn min_load(&self) -> u32 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Max−min gap.
+    pub fn gap(&self) -> u32 {
+        gap(&self.loads)
+    }
+
+    /// Allocation time divided by `m` — converges to 1 for `threshold`
+    /// (Theorem 4.1) and to a small constant for `adaptive`
+    /// (Theorem 3.1).
+    pub fn time_ratio(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.total_samples as f64 / self.m as f64
+        }
+    }
+
+    /// Allocation time minus `m` — the excess bounded by
+    /// `O(m^{3/4} n^{1/4})` in Theorem 4.1.
+    pub fn excess_samples(&self) -> u64 {
+        self.total_samples.saturating_sub(self.m)
+    }
+
+    /// Final quadratic potential `Ψ_m` (Figure 3(b)).
+    pub fn psi(&self) -> f64 {
+        quadratic_potential(&self.loads, self.m)
+    }
+
+    /// Final exponential potential `Φ_m` at the paper's ε = 1/200.
+    pub fn phi(&self) -> f64 {
+        exponential_potential(&self.loads, self.m, EPSILON)
+    }
+
+    /// `ln Φ_m`, safe for the deep-hole regime of Lemma 4.2.
+    pub fn ln_phi(&self) -> f64 {
+        ln_exponential_potential(&self.loads, self.m, EPSILON)
+    }
+
+    /// Asserts internal consistency: mass conservation and that the
+    /// sample count is at least `m` (every ball needs ≥ 1 sample).
+    pub fn validate(&self) {
+        assert_eq!(self.loads.len(), self.n, "loads/n mismatch");
+        assert_eq!(self.total_balls(), self.m, "mass not conserved");
+        if self.m > 0 {
+            assert!(
+                self.total_samples >= self.m,
+                "fewer samples ({}) than balls ({})",
+                self.total_samples,
+                self.m
+            );
+            assert!(self.max_samples_per_ball >= 1);
+        }
+    }
+}
+
+/// An allocation scheme that places `cfg.m` balls into `cfg.n` bins.
+pub trait Protocol {
+    /// Human-readable name (used in tables and outcome records).
+    fn name(&self) -> String;
+
+    /// Runs the full allocation, reporting per-ball events to `obs`.
+    fn allocate(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut dyn Rng64,
+        obs: &mut dyn Observer,
+    ) -> Outcome;
+}
+
+/// Drives the common per-ball loop shared by all sequential protocols:
+/// calls `place_one` for each ball, maintains the observer callbacks and
+/// sample accounting, and assembles the [`Outcome`].
+///
+/// `place_one(bins, ball_index, rng) -> (bin, samples)` must place the
+/// ball itself (via [`PartitionedBins::place`]) before returning.
+pub fn drive_sequential<F>(
+    name: String,
+    cfg: &RunConfig,
+    rng: &mut dyn Rng64,
+    obs: &mut dyn Observer,
+    mut place_one: F,
+) -> Outcome
+where
+    F: FnMut(&mut PartitionedBins, u64, &mut dyn Rng64) -> (usize, u64),
+{
+    let mut bins = PartitionedBins::new(cfg.n);
+    let mut total_samples = 0u64;
+    let mut max_samples = 0u64;
+    let n64 = cfg.n as u64;
+    for ball in 1..=cfg.m {
+        let before = bins.total();
+        let (bin, samples) = place_one(&mut bins, ball, rng);
+        debug_assert_eq!(bins.total(), before + 1, "place_one must place exactly one ball");
+        total_samples += samples;
+        max_samples = max_samples.max(samples);
+        obs.on_ball(ball, bin, samples);
+        if ball % n64 == 0 {
+            obs.on_stage_end(ball / n64, &bins);
+        }
+    }
+    if !cfg.m.is_multiple_of(n64) {
+        obs.on_stage_end(cfg.m / n64 + 1, &bins);
+    }
+    Outcome {
+        protocol: name,
+        n: cfg.n,
+        m: cfg.m,
+        total_samples,
+        max_samples_per_ball: max_samples,
+        loads: bins.to_load_vector().into_loads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::{RngExt, SplitMix64};
+
+    /// A trivial protocol for exercising the harness: one uniform choice
+    /// per ball.
+    struct Trivial;
+
+    impl Protocol for Trivial {
+        fn name(&self) -> String {
+            "trivial".into()
+        }
+        fn allocate(
+            &self,
+            cfg: &RunConfig,
+            rng: &mut dyn Rng64,
+            obs: &mut dyn Observer,
+        ) -> Outcome {
+            drive_sequential(self.name(), cfg, rng, obs, |bins, _ball, rng| {
+                let b = rng.range_usize(bins.n());
+                bins.place(b);
+                (b, 1)
+            })
+        }
+    }
+
+    #[test]
+    fn run_config_bound() {
+        assert_eq!(RunConfig::new(10, 100).max_load_bound(), 11);
+        assert_eq!(RunConfig::new(10, 101).max_load_bound(), 12);
+        assert_eq!(RunConfig::new(10, 0).max_load_bound(), 1);
+    }
+
+    #[test]
+    fn drive_sequential_accounts_mass_and_samples() {
+        let cfg = RunConfig::new(7, 50);
+        let mut rng = SplitMix64::new(1);
+        let out = Trivial.allocate(&cfg, &mut rng, &mut NullObserver);
+        out.validate();
+        assert_eq!(out.total_samples, 50);
+        assert_eq!(out.max_samples_per_ball, 1);
+        assert_eq!(out.time_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_balls_is_a_valid_run() {
+        let cfg = RunConfig::new(3, 0);
+        let mut rng = SplitMix64::new(2);
+        let out = Trivial.allocate(&cfg, &mut rng, &mut NullObserver);
+        out.validate();
+        assert_eq!(out.total_samples, 0);
+        assert_eq!(out.max_load(), 0);
+        assert_eq!(out.time_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stage_trace_records_every_stage() {
+        let cfg = RunConfig::new(5, 23); // 4 full stages + remainder
+        let mut rng = SplitMix64::new(3);
+        let mut trace = StageTrace::new();
+        Trivial.allocate(&cfg, &mut rng, &mut trace);
+        assert_eq!(trace.stages, vec![1, 2, 3, 4, 5]);
+        assert_eq!(trace.psi.len(), 5);
+        assert_eq!(trace.gaps.len(), 5);
+        // Potentials are finite and non-negative.
+        assert!(trace.psi.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(trace.ln_phi.iter().all(|&p| p.is_finite()));
+    }
+
+    #[test]
+    fn stage_trace_no_duplicate_final_stage_when_divisible() {
+        let cfg = RunConfig::new(5, 20);
+        let mut rng = SplitMix64::new(4);
+        let mut trace = StageTrace::new();
+        Trivial.allocate(&cfg, &mut rng, &mut trace);
+        assert_eq!(trace.stages, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_histogram_totals_balls() {
+        let cfg = RunConfig::new(4, 40);
+        let mut rng = SplitMix64::new(5);
+        let mut hist = SampleHistogram::new(8);
+        Trivial.allocate(&cfg, &mut rng, &mut hist);
+        assert_eq!(hist.counts.iter().sum::<u64>(), 40);
+        assert_eq!(hist.counts[0], 40); // trivial uses exactly 1 sample
+    }
+
+    #[test]
+    fn outcome_metrics_consistency() {
+        let out = Outcome {
+            protocol: "x".into(),
+            n: 4,
+            m: 8,
+            total_samples: 10,
+            max_samples_per_ball: 3,
+            loads: vec![2, 2, 3, 1],
+        };
+        out.validate();
+        assert_eq!(out.max_load(), 3);
+        assert_eq!(out.min_load(), 1);
+        assert_eq!(out.gap(), 2);
+        assert_eq!(out.excess_samples(), 2);
+        assert!((out.time_ratio() - 1.25).abs() < 1e-12);
+        assert!(out.psi() > 0.0);
+        assert!(out.phi() > 0.0);
+        assert!((out.ln_phi().exp() - out.phi()).abs() < 1e-9 * out.phi());
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_catches_mass_violation() {
+        Outcome {
+            protocol: "x".into(),
+            n: 2,
+            m: 5,
+            total_samples: 5,
+            max_samples_per_ball: 1,
+            loads: vec![1, 1],
+        }
+        .validate();
+    }
+}

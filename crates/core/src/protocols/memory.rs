@@ -1,0 +1,165 @@
+//! The `(d, k)`-memory protocol of Mitzenmacher, Prabhakar & Shah [14].
+//!
+//! Each ball samples `d` fresh uniform bins and inherits `k` *remembered*
+//! bins — the least-loaded candidates left over from the previous ball.
+//! It joins the least loaded of the `d + k`, and the `k` least-loaded
+//! candidates (post-placement) are remembered for the next ball. With
+//! `d = k = 1` and `m = n` the maximum load is
+//! `ln ln n / (2 ln Φ₂) + O(1)` — matching Vöcking's lower bound while
+//! sampling only one fresh bin per ball, i.e. Θ(m) allocation time.
+//!
+//! The paper cites this model when noting that `adaptive`'s requirement
+//! of knowing the running ball count "is comparable to the (d,k)-memory
+//! model, where every ball communicates with the ball that comes right
+//! after it".
+
+use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
+use bib_rng::{Rng64, RngExt};
+
+/// The `(d, k)`-memory protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct Memory {
+    d: u32,
+    k: u32,
+}
+
+impl Memory {
+    /// `d` fresh choices, `k` remembered bins; panics unless both ≥ 1.
+    pub fn new(d: u32, k: u32) -> Self {
+        assert!(d >= 1, "memory(d,k) needs d ≥ 1");
+        assert!(k >= 1, "memory(d,k) needs k ≥ 1");
+        Self { d, k }
+    }
+
+    /// Fresh choices per ball.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Remembered bins carried between balls.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Protocol for Memory {
+    fn name(&self) -> String {
+        format!("memory({},{})", self.d, self.k)
+    }
+
+    fn allocate(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut dyn Rng64,
+        obs: &mut dyn Observer,
+    ) -> Outcome {
+        let d = self.d as usize;
+        let k = self.k as usize;
+        // The memory cache persists across balls.
+        let mut cache: Vec<usize> = Vec::with_capacity(k);
+        let mut candidates: Vec<usize> = Vec::with_capacity(d + k);
+        drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
+            let n = bins.n();
+            candidates.clear();
+            for _ in 0..d {
+                candidates.push(rng.range_usize(n));
+            }
+            candidates.extend(cache.iter().copied());
+
+            // Place into the least loaded candidate, random tie-break.
+            let mut best = candidates[0];
+            let mut best_load = bins.load(best);
+            let mut ties = 1u64;
+            for &c in &candidates[1..] {
+                let l = bins.load(c);
+                if l < best_load {
+                    best = c;
+                    best_load = l;
+                    ties = 1;
+                } else if l == best_load {
+                    ties += 1;
+                    if rng.range_u64(ties) == 0 {
+                        best = c;
+                    }
+                }
+            }
+            bins.place(best);
+
+            // Remember the k least-loaded distinct candidates
+            // (post-placement loads).
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.sort_by_key(|&c| bins.load(c));
+            cache.clear();
+            cache.extend(candidates.iter().take(k).copied());
+
+            (best, d as u64)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NullObserver;
+    use crate::protocols::{GreedyD, OneChoice};
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn allocation_time_counts_only_fresh_samples() {
+        let cfg = RunConfig::new(16, 160);
+        let mut rng = SplitMix64::new(1);
+        let out = Memory::new(1, 1).allocate(&cfg, &mut rng, &mut NullObserver);
+        out.validate();
+        assert_eq!(out.total_samples, 160); // d = 1 fresh sample per ball
+    }
+
+    #[test]
+    fn memory_beats_one_choice_with_same_sample_budget() {
+        // The [14] headline: with Θ(m) samples, memory(1,1) achieves a
+        // doubly-logarithmic max load while one-choice is logarithmic.
+        let n = 4096usize;
+        let cfg = RunConfig::new(n, n as u64);
+        let mut rng = SplitMix64::new(2);
+        let one = OneChoice.allocate(&cfg, &mut rng, &mut NullObserver);
+        let mem = Memory::new(1, 1).allocate(&cfg, &mut rng, &mut NullObserver);
+        assert_eq!(mem.total_samples, one.total_samples);
+        assert!(
+            mem.max_load() < one.max_load(),
+            "memory max {} !< one-choice max {}",
+            mem.max_load(),
+            one.max_load()
+        );
+    }
+
+    #[test]
+    fn memory_competitive_with_greedy2_at_half_the_samples() {
+        let n = 4096usize;
+        let cfg = RunConfig::new(n, n as u64);
+        let mut rng = SplitMix64::new(3);
+        let mem = Memory::new(1, 1).allocate(&cfg, &mut rng, &mut NullObserver);
+        let g2 = GreedyD::new(2).allocate(&cfg, &mut rng, &mut NullObserver);
+        assert_eq!(mem.total_samples * 2, g2.total_samples);
+        // [14] proves memory(1,1) is asymptotically *better* than
+        // greedy[2]; at finite n allow equality plus one.
+        assert!(mem.max_load() <= g2.max_load() + 1);
+    }
+
+    #[test]
+    fn larger_memory_does_not_hurt() {
+        let n = 1024usize;
+        let cfg = RunConfig::new(n, 8 * n as u64);
+        let mut rng = SplitMix64::new(4);
+        let m11 = Memory::new(1, 1).allocate(&cfg, &mut rng, &mut NullObserver);
+        let m22 = Memory::new(2, 2).allocate(&cfg, &mut rng, &mut NullObserver);
+        m11.validate();
+        m22.validate();
+        assert!(m22.max_load() <= m11.max_load() + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_memory_rejected() {
+        Memory::new(1, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! All sequential allocation protocols: the paper's two (Section 2) and
+//! the Table 1 baselines.
+//!
+//! | Protocol | Source | Allocation time | Max load |
+//! |----------|--------|-----------------|----------|
+//! | [`OneChoice`] | folklore | `m` | `m/n + Θ(√((m/n)·log n))` heavy case |
+//! | [`GreedyD`] | Azar et al. \[4,5\] | `Θ(md)` | `m/n + ln ln n / ln d + Θ(1)` |
+//! | [`LeftD`] | Vöcking \[16\] | `Θ(md)` | `m/n + ln ln n / (d ln Φ_d) + Θ(1)` |
+//! | [`Memory`] | Mitzenmacher et al. \[14\] | `Θ(m(d+k))` samples, `d` fresh | `ln ln n / ln Φ₂ + Θ(1)` for (1,1), m = n |
+//! | [`Threshold`] | Czumaj–Stemann \[7\] / Thm 4.1 | `m + O(m^{3/4} n^{1/4})` | `⌈m/n⌉ + 1` |
+//! | [`Adaptive`] | **this paper** / Thm 3.1 | `O(m)` | `⌈m/n⌉ + 1` |
+//!
+//! `Adaptive::tight()` is the `i/n`-threshold ablation from Section 2
+//! (coupon-collector behaviour, `Θ(m log n)`); [`OnePlusBeta`] is the
+//! Peres–Talwar–Wieder `(1+β)`-choice process (gap `Θ(log n / β)`
+//! independent of `m`), and [`ThresholdSlack`] generalises `threshold`'s
+//! `+1` to `+s`.
+
+mod adaptive;
+mod greedy;
+mod left;
+mod memory;
+mod one_choice;
+mod one_plus_beta;
+mod threshold;
+
+pub use adaptive::Adaptive;
+pub use greedy::{GreedyD, TieBreak};
+pub use left::LeftD;
+pub use memory::Memory;
+pub use one_choice::OneChoice;
+pub use one_plus_beta::OnePlusBeta;
+pub use threshold::{Threshold, ThresholdSlack};
+
+use crate::protocol::Protocol;
+
+/// The protocols compared in Table 1, in the table's order, with the
+/// standard parameters used by the `table1` experiment.
+pub fn table1_suite() -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(OneChoice),
+        Box::new(GreedyD::new(2)),
+        Box::new(GreedyD::new(3)),
+        Box::new(LeftD::new(2)),
+        Box::new(Memory::new(1, 1)),
+        Box::new(Threshold),
+        Box::new(Adaptive::paper()),
+    ]
+}
+
+/// Looks a protocol up by its canonical name (as printed by
+/// `Protocol::name` for the standard parameterisations). Returns `None`
+/// for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Protocol>> {
+    Some(match name {
+        "one-choice" => Box::new(OneChoice) as Box<dyn Protocol>,
+        "greedy[2]" => Box::new(GreedyD::new(2)),
+        "greedy[3]" => Box::new(GreedyD::new(3)),
+        "left[2]" => Box::new(LeftD::new(2)),
+        "memory(1,1)" => Box::new(Memory::new(1, 1)),
+        "threshold" => Box::new(Threshold),
+        "adaptive" => Box::new(Adaptive::paper()),
+        "adaptive-tight" => Box::new(Adaptive::tight()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_expected_names() {
+        let names: Vec<String> = table1_suite().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "one-choice",
+                "greedy[2]",
+                "greedy[3]",
+                "left[2]",
+                "memory(1,1)",
+                "threshold",
+                "adaptive"
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_round_trips_suite() {
+        for p in table1_suite() {
+            let found = by_name(&p.name()).expect("suite protocol must be findable");
+            assert_eq!(found.name(), p.name());
+        }
+        assert!(by_name("adaptive-tight").is_some());
+        assert!(by_name("nonsense").is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! The `(1+β)`-choice process (Peres, Talwar & Wieder).
+//!
+//! Each ball flips a β-coin: with probability `β` it behaves like
+//! `greedy[2]` (two choices, least loaded), otherwise like one-choice.
+//! Expected allocation time `(1+β)m`; the max−min gap is `Θ(log n / β)`
+//! **independent of m** — the classic smooth-gap baseline between
+//! one-choice (gap grows with m) and greedy[2] (gap `log log n`).
+//!
+//! Not part of the paper's Table 1, but the natural third point on the
+//! smoothness-vs-samples frontier the paper's `adaptive` sits on: the
+//! `extensions` experiment compares their gaps at equal sample budgets.
+
+use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
+use bib_rng::{Rng64, RngExt};
+
+/// The `(1+β)`-choice process.
+#[derive(Debug, Clone, Copy)]
+pub struct OnePlusBeta {
+    beta: f64,
+}
+
+impl OnePlusBeta {
+    /// Mixing parameter `β ∈ (0, 1]` (β = 1 is exactly `greedy[2]`).
+    pub fn new(beta: f64) -> Self {
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "(1+beta)-choice needs beta in (0,1], got {beta}"
+        );
+        Self { beta }
+    }
+
+    /// The mixing parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Protocol for OnePlusBeta {
+    fn name(&self) -> String {
+        format!("one+beta({})", self.beta)
+    }
+
+    fn allocate(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut dyn Rng64,
+        obs: &mut dyn Observer,
+    ) -> Outcome {
+        let beta = self.beta;
+        drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
+            let n = bins.n();
+            let a = rng.range_usize(n);
+            if rng.bernoulli(beta) {
+                let b = rng.range_usize(n);
+                let pick = match bins.load(a).cmp(&bins.load(b)) {
+                    std::cmp::Ordering::Less => a,
+                    std::cmp::Ordering::Greater => b,
+                    std::cmp::Ordering::Equal => {
+                        if rng.bernoulli(0.5) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                };
+                bins.place(pick);
+                (pick, 2)
+            } else {
+                bins.place(a);
+                (a, 1)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::NullObserver;
+    use crate::protocols::{GreedyD, OneChoice};
+    use crate::run::run_protocol;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn sample_count_is_one_plus_beta_m() {
+        let cfg = RunConfig::new(64, 20_000);
+        let mut rng = SplitMix64::new(1);
+        let out = OnePlusBeta::new(0.25).allocate(&cfg, &mut rng, &mut NullObserver);
+        out.validate();
+        let expected = 1.25 * 20_000.0;
+        assert!(
+            (out.total_samples as f64 - expected).abs() < 4.0 * (20_000.0f64 * 0.25).sqrt().max(1.0) * 1.0 + 200.0,
+            "samples {} vs expected {expected}",
+            out.total_samples
+        );
+    }
+
+    #[test]
+    fn gap_independent_of_m_unlike_one_choice() {
+        // The PTW headline at laptop scale: fix n, grow m 16x; the
+        // (1+β) gap stays put while one-choice's grows.
+        let n = 1024usize;
+        let gap_at = |proto: &dyn Protocol, m: u64| -> f64 {
+            (0..5u64)
+                .map(|s| run_protocol(proto, &RunConfig::new(n, m), s).gap() as f64)
+                .sum::<f64>()
+                / 5.0
+        };
+        let p = OnePlusBeta::new(0.5);
+        let g_small = gap_at(&p, 32 * n as u64);
+        let g_big = gap_at(&p, 512 * n as u64);
+        assert!(g_big < 1.6 * g_small, "(1+b) gap grew: {g_small} -> {g_big}");
+        let o_small = gap_at(&OneChoice, 32 * n as u64);
+        let o_big = gap_at(&OneChoice, 512 * n as u64);
+        assert!(o_big > 2.0 * o_small, "one-choice gap flat?! {o_small} -> {o_big}");
+    }
+
+    #[test]
+    fn beta_one_matches_greedy2_in_distribution() {
+        // Not stream-identical (different coin usage), but max loads at
+        // m = n should be in the same ln ln n band.
+        let n = 4096usize;
+        let cfg = RunConfig::new(n, n as u64);
+        let a = run_protocol(&OnePlusBeta::new(1.0), &cfg, 3);
+        let g = run_protocol(&GreedyD::new(2), &cfg, 3);
+        assert!((a.max_load() as i64 - g.max_load() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn smaller_beta_larger_gap() {
+        let n = 1024usize;
+        let cfg = RunConfig::new(n, 256 * n as u64);
+        let gap_mean = |beta: f64| -> f64 {
+            (0..5u64)
+                .map(|s| run_protocol(&OnePlusBeta::new(beta), &cfg, s).gap() as f64)
+                .sum::<f64>()
+                / 5.0
+        };
+        let tight = gap_mean(0.9);
+        let loose = gap_mean(0.1);
+        assert!(loose > tight, "β=0.1 gap {loose} should exceed β=0.9 gap {tight}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_beta() {
+        OnePlusBeta::new(0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Heterogeneous-capacity extension: bins with weights.
+//!
+//! The paper's model gives every bin the same capacity share. A natural
+//! extension (think servers of different sizes) assigns bin `j` a weight
+//! `w_j > 0`; bin `j`'s *fair share* of `t` balls is `t·w_j/W` where
+//! `W = Σ w`. The weighted analogue of `adaptive` then samples bins
+//! **proportionally to weight** (via an alias table) and accepts bin `j`
+//! for ball `i` iff
+//!
+//! ```text
+//! load_j < i·w_j/W + 1
+//! ```
+//!
+//! which degenerates to the paper's protocol for uniform weights and
+//! yields the per-bin guarantee `load_j ≤ ⌈m·w_j/W⌉ + 1` by the same
+//! one-line argument as in the uniform case. Feasibility also carries
+//! over: if every bin had `load_j ≥ i·w_j/W + 1` then summing gives
+//! `i − 1 ≥ Σ load_j ≥ i + n`, a contradiction.
+//!
+//! This module is an *extension*, not part of the paper's claims; the
+//! `weighted_adaptive` experiment treats it as an ablation of the
+//! uniformity assumption.
+
+use crate::bins::LoadVector;
+use bib_rng::dist::{AliasTable, Distribution};
+use bib_rng::Rng64;
+
+/// Outcome of a weighted allocation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedOutcome {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Bin weights (normalised copies are kept internally by the run).
+    pub weights: Vec<f64>,
+    /// Balls placed.
+    pub m: u64,
+    /// Total bin samples (allocation time).
+    pub total_samples: u64,
+    /// Final loads.
+    pub loads: Vec<u32>,
+}
+
+impl WeightedOutcome {
+    /// Per-bin overload: `load_j − m·w_j/W` (positive = above fair
+    /// share). The weighted max-load guarantee bounds this by ≤ 2
+    /// (⌈·⌉ rounding plus the +1 slack).
+    pub fn overloads(&self) -> Vec<f64> {
+        let w_total: f64 = self.weights.iter().sum();
+        self.loads
+            .iter()
+            .zip(&self.weights)
+            .map(|(&l, &w)| l as f64 - self.m as f64 * w / w_total)
+            .collect()
+    }
+
+    /// The largest per-bin overload.
+    pub fn max_overload(&self) -> f64 {
+        self.overloads().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Allocation time per ball.
+    pub fn time_ratio(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.total_samples as f64 / self.m as f64
+        }
+    }
+
+    /// Weighted quadratic potential `Σ_j (load_j − m·w_j/W)²`.
+    pub fn weighted_psi(&self) -> f64 {
+        self.overloads().iter().map(|d| d * d).sum()
+    }
+
+    /// Asserts mass conservation.
+    pub fn validate(&self) {
+        assert_eq!(self.loads.len(), self.weights.len());
+        assert_eq!(
+            self.loads.iter().map(|&l| l as u64).sum::<u64>(),
+            self.m
+        );
+    }
+}
+
+/// The weighted adaptive protocol.
+///
+/// # Examples
+///
+/// ```
+/// use bib_core::weighted::WeightedAdaptive;
+/// use bib_rng::SeedSequence;
+///
+/// // One big server (weight 3) and three small ones.
+/// let proto = WeightedAdaptive::new(vec![3.0, 1.0, 1.0, 1.0]);
+/// let mut rng = SeedSequence::new(5).rng();
+/// let out = proto.run(6_000, &mut rng);
+/// out.validate();
+/// // Every bin within +2 of its fair share m·w/W.
+/// assert!(out.max_overload() <= 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedAdaptive {
+    weights: Vec<f64>,
+}
+
+impl WeightedAdaptive {
+    /// Creates the protocol; panics if `weights` is empty or any weight
+    /// is non-positive/non-finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one bin");
+        for &w in &weights {
+            assert!(
+                w > 0.0 && w.is_finite(),
+                "weights must be positive and finite, got {w}"
+            );
+        }
+        Self { weights }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Whether bin `j` accepts ball `i` at load `l`:
+    /// `l < i·w_j/W + 1`.
+    fn accepts(&self, w_total: f64, i: u64, j: usize, l: u32) -> bool {
+        (l as f64) < i as f64 * self.weights[j] / w_total + 1.0
+    }
+
+    /// Runs the full allocation of `m` balls.
+    pub fn run<R: Rng64 + ?Sized>(&self, m: u64, rng: &mut R) -> WeightedOutcome {
+        let n = self.weights.len();
+        let w_total: f64 = self.weights.iter().sum();
+        let alias = AliasTable::new(&self.weights);
+        let mut loads = LoadVector::new(n);
+        let mut samples = 0u64;
+        for i in 1..=m {
+            loop {
+                samples += 1;
+                let j = alias.sample(rng);
+                if self.accepts(w_total, i, j, loads.load(j)) {
+                    loads.place(j);
+                    break;
+                }
+            }
+        }
+        WeightedOutcome {
+            protocol: "weighted-adaptive".into(),
+            weights: self.weights.clone(),
+            m,
+            total_samples: samples,
+            loads: loads.into_loads(),
+        }
+    }
+}
+
+/// Weighted one-choice baseline: each ball joins one weight-proportional
+/// sample, no retry.
+#[derive(Debug, Clone)]
+pub struct WeightedOneChoice {
+    weights: Vec<f64>,
+}
+
+impl WeightedOneChoice {
+    /// Creates the baseline; same validation as [`WeightedAdaptive`].
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one bin");
+        for &w in &weights {
+            assert!(w > 0.0 && w.is_finite(), "bad weight {w}");
+        }
+        Self { weights }
+    }
+
+    /// Runs the full allocation of `m` balls.
+    pub fn run<R: Rng64 + ?Sized>(&self, m: u64, rng: &mut R) -> WeightedOutcome {
+        let alias = AliasTable::new(&self.weights);
+        let mut loads = LoadVector::new(self.weights.len());
+        for _ in 0..m {
+            loads.place(alias.sample(rng));
+        }
+        WeightedOutcome {
+            protocol: "weighted-one-choice".into(),
+            weights: self.weights.clone(),
+            m,
+            total_samples: m,
+            loads: loads.into_loads(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn uniform_weights_match_guarantee() {
+        let n = 64usize;
+        let m = 64 * 16u64;
+        let p = WeightedAdaptive::new(vec![1.0; n]);
+        let mut rng = SplitMix64::new(1);
+        let out = p.run(m, &mut rng);
+        out.validate();
+        // Uniform fair share: the paper's ⌈m/n⌉ + 1 bound.
+        let bound = m.div_ceil(n as u64) + 1;
+        assert!(out.loads.iter().all(|&l| (l as u64) <= bound));
+        assert!(out.max_overload() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn per_bin_guarantee_holds_for_skewed_weights() {
+        // Weights 1..=n: bin j's share is proportional to j.
+        let n = 32usize;
+        let weights: Vec<f64> = (1..=n).map(|j| j as f64).collect();
+        let w_total: f64 = weights.iter().sum();
+        let m = 4_000u64;
+        let p = WeightedAdaptive::new(weights.clone());
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed);
+            let out = p.run(m, &mut rng);
+            out.validate();
+            for (j, &l) in out.loads.iter().enumerate() {
+                let fair = m as f64 * weights[j] / w_total;
+                assert!(
+                    (l as f64) <= fair.ceil() + 1.0 + 1e-9,
+                    "seed {seed} bin {j}: load {l} fair {fair}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_time_stays_linear_with_skew() {
+        let n = 256usize;
+        // Two classes: heavy bins (weight 8) and light bins (weight 1).
+        let weights: Vec<f64> = (0..n).map(|j| if j % 4 == 0 { 8.0 } else { 1.0 }).collect();
+        let m = 16_000u64;
+        let mut rng = SplitMix64::new(7);
+        let out = WeightedAdaptive::new(weights).run(m, &mut rng);
+        out.validate();
+        assert!(out.time_ratio() < 4.0, "time ratio {}", out.time_ratio());
+    }
+
+    #[test]
+    fn weighted_one_choice_tracks_fair_share_only_on_average() {
+        let weights: Vec<f64> = vec![1.0, 3.0];
+        let m = 40_000u64;
+        let mut rng = SplitMix64::new(9);
+        let out = WeightedOneChoice::new(weights).run(m, &mut rng);
+        out.validate();
+        // Means near 10k / 30k, but deviation ~ √m ≫ the adaptive bound.
+        assert!((out.loads[0] as f64 - 10_000.0).abs() < 600.0);
+        assert!((out.loads[1] as f64 - 30_000.0).abs() < 600.0);
+    }
+
+    #[test]
+    fn weighted_adaptive_beats_one_choice_on_overload() {
+        let n = 64usize;
+        let weights: Vec<f64> = (0..n).map(|j| 1.0 + (j % 5) as f64).collect();
+        let m = 64 * 64u64;
+        let mut r1 = SplitMix64::new(11);
+        let mut r2 = SplitMix64::new(11);
+        let ada = WeightedAdaptive::new(weights.clone()).run(m, &mut r1);
+        let one = WeightedOneChoice::new(weights).run(m, &mut r2);
+        assert!(ada.max_overload() <= 2.0 + 1e-9);
+        assert!(one.max_overload() > ada.max_overload());
+        assert!(ada.weighted_psi() < one.weighted_psi());
+    }
+
+    #[test]
+    fn zero_balls_and_single_bin() {
+        let mut rng = SplitMix64::new(13);
+        let out = WeightedAdaptive::new(vec![2.5]).run(0, &mut rng);
+        out.validate();
+        assert_eq!(out.total_samples, 0);
+        let out = WeightedAdaptive::new(vec![2.5]).run(9, &mut rng);
+        assert_eq!(out.loads, vec![9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_weight() {
+        WeightedAdaptive::new(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Lenzen–Wattenhofer-style bounded-load parallel allocation [12].
+//!
+//! Reproduction note (see DESIGN.md §2): the published protocol's exact
+//! contact schedule is tuned for the `log* n + O(1)` constant; we
+//! implement the operational core — *bins accept at most `cap` balls
+//! ever; unplaced balls contact `k_r` bins in round `r` with `k_r`
+//! doubling; each bin with spare capacity accepts one uniformly random
+//! requester per round* — which reproduces the qualitative behaviour:
+//! max load exactly ≤ `cap`, a round count that grows extremely slowly
+//! with `n`, and O(1) messages per ball.
+
+use super::ParallelOutcome;
+use bib_rng::{Rng64, RngExt};
+
+/// The bounded-load parallel protocol.
+///
+/// # Examples
+///
+/// ```
+/// use bib_parallel::protocols::BoundedLoad;
+/// use bib_rng::SeedSequence;
+///
+/// let mut rng = SeedSequence::new(1).rng();
+/// let out = BoundedLoad::new(2).run(256, 256, &mut rng); // m = n
+/// out.validate();
+/// assert!(out.max_load() <= 2);        // by construction
+/// assert!(out.rounds <= 10);           // ~log* n
+/// assert!(out.messages_per_ball() < 8.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedLoad {
+    cap: u32,
+    /// Safety limit on rounds (the process must finish far earlier).
+    max_rounds: u32,
+}
+
+impl BoundedLoad {
+    /// Bins accept at most `cap ≥ 1` balls.
+    pub fn new(cap: u32) -> Self {
+        assert!(cap >= 1, "bin capacity must be ≥ 1");
+        Self {
+            cap,
+            max_rounds: 64,
+        }
+    }
+
+    /// The per-bin capacity.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Runs the process; panics if `m > cap·n` (capacity infeasible) or
+    /// if the safety round limit is exceeded (indicates a bug, not bad
+    /// luck — 64 rounds is astronomically beyond `log* n`).
+    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> ParallelOutcome {
+        assert!(n > 0, "need at least one bin");
+        assert!(
+            m <= self.cap as u64 * n as u64,
+            "m = {m} exceeds total capacity {}",
+            self.cap as u64 * n as u64
+        );
+        let mut loads = vec![0u32; n];
+        // Balls still unplaced, by id.
+        let mut unplaced: Vec<u32> = (0..m as u32).collect();
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        // Per-bin requester lists, reused across rounds.
+        let mut requests: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut contacts = 1usize; // k_r: doubles each round
+
+        while !unplaced.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= self.max_rounds,
+                "bounded-load protocol failed to converge in {} rounds",
+                self.max_rounds
+            );
+            for r in requests.iter_mut() {
+                r.clear();
+            }
+            // Phase 1: contacts.
+            for &ball in &unplaced {
+                for _ in 0..contacts {
+                    let b = rng.range_usize(n);
+                    requests[b].push(ball);
+                    messages += 1;
+                }
+            }
+            // Phase 2: each bin with spare capacity accepts one uniformly
+            // random requester. A ball may receive several acceptances;
+            // it takes the first by bin order (any deterministic rule
+            // works — the bin keeps its slot only if the ball commits).
+            let mut accepted_bin: Vec<Option<u32>> = vec![None; m as usize];
+            for (bin, reqs) in requests.iter().enumerate() {
+                if loads[bin] >= self.cap || reqs.is_empty() {
+                    continue;
+                }
+                let ball = *rng.choose(reqs);
+                messages += 1; // the accept message
+                if accepted_bin[ball as usize].is_none() {
+                    accepted_bin[ball as usize] = Some(bin as u32);
+                    loads[bin] += 1;
+                }
+            }
+            // Phase 3: commit placements.
+            unplaced.retain(|&ball| accepted_bin[ball as usize].is_none());
+            contacts = (contacts * 2).min(n);
+        }
+
+        ParallelOutcome {
+            protocol: format!("bounded-load(cap={})", self.cap),
+            n,
+            m,
+            rounds,
+            messages,
+            loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn max_load_never_exceeds_cap() {
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed);
+            let out = BoundedLoad::new(2).run(256, 256, &mut rng);
+            out.validate();
+            assert!(out.max_load() <= 2, "seed {seed}: {}", out.max_load());
+        }
+    }
+
+    #[test]
+    fn all_balls_placed_at_full_capacity() {
+        // m = cap·n is the tight case: every slot must fill.
+        let mut rng = SplitMix64::new(7);
+        let out = BoundedLoad::new(2).run(64, 128, &mut rng);
+        out.validate();
+        assert_eq!(out.loads, vec![2u32; 64]);
+    }
+
+    #[test]
+    fn rounds_grow_very_slowly() {
+        // log*-ish: going from n = 2⁸ to n = 2¹⁶ should add at most a
+        // few rounds.
+        let mut rng = SplitMix64::new(8);
+        let small = BoundedLoad::new(2).run(1 << 8, 1 << 8, &mut rng);
+        let big = BoundedLoad::new(2).run(1 << 16, 1 << 16, &mut rng);
+        assert!(small.rounds <= 12, "small rounds {}", small.rounds);
+        assert!(big.rounds <= small.rounds + 4, "{} vs {}", big.rounds, small.rounds);
+    }
+
+    #[test]
+    fn messages_linear_in_m() {
+        let mut rng = SplitMix64::new(9);
+        let out = BoundedLoad::new(2).run(1 << 14, 1 << 14, &mut rng);
+        assert!(
+            out.messages_per_ball() < 12.0,
+            "messages per ball {}",
+            out.messages_per_ball()
+        );
+    }
+
+    #[test]
+    fn zero_balls() {
+        let mut rng = SplitMix64::new(10);
+        let out = BoundedLoad::new(2).run(8, 0, &mut rng);
+        out.validate();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn infeasible_capacity_rejected() {
+        let mut rng = SplitMix64::new(11);
+        BoundedLoad::new(1).run(4, 5, &mut rng);
+    }
+}

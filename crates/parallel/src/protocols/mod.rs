@@ -1,0 +1,127 @@
+//! Round-based *parallel* allocation protocols.
+//!
+//! These are the synchronous processes from the related-work section of
+//! the paper: all currently unplaced balls act simultaneously in a round,
+//! bins answer, and the process repeats. The performance currency is
+//! *rounds* and *messages* rather than sequential samples.
+//!
+//! * [`BoundedLoad`] — a Lenzen–Wattenhofer-style protocol \[12\]: bins
+//!   accept at most `cap` balls ever (max load ≤ `cap` by construction),
+//!   unplaced balls double their contact count each round; ~`log* n`
+//!   rounds and O(n) messages at `m = n`, `cap = 2`.
+//! * [`Collision`] — an Adler et al.-flavoured collision protocol \[1\]:
+//!   each unplaced ball contacts one bin; a bin accepts its requesters
+//!   only if at most `c` of them collided there.
+//! * [`ParallelGreedy`] — round-restricted parallel `greedy[d]` \[1\]:
+//!   balls commit to `d` candidates, negotiate for `r` rounds, and are
+//!   force-placed at the end; balance improves with the round budget.
+
+mod bounded_load;
+mod collision;
+mod parallel_greedy;
+
+pub use bounded_load::BoundedLoad;
+pub use collision::Collision;
+pub use parallel_greedy::ParallelGreedy;
+
+/// Outcome of a round-based parallel allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOutcome {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Bins.
+    pub n: usize,
+    /// Balls (all placed on success).
+    pub m: u64,
+    /// Number of synchronous rounds used.
+    pub rounds: u32,
+    /// Total messages: every ball→bin contact and every bin→ball accept.
+    pub messages: u64,
+    /// Final loads.
+    pub loads: Vec<u32>,
+}
+
+impl ParallelOutcome {
+    /// Maximum final load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Messages per ball — O(1) is the headline of \[12\].
+    pub fn messages_per_ball(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.m as f64
+        }
+    }
+
+    /// Asserts mass conservation.
+    pub fn validate(&self) {
+        assert_eq!(self.loads.len(), self.n);
+        assert_eq!(
+            self.loads.iter().map(|&l| l as u64).sum::<u64>(),
+            self.m,
+            "mass not conserved"
+        );
+    }
+}
+
+/// Iterated logarithm `log₂* n` — the paper \[12\]'s round complexity
+/// yardstick, used by the `parallel_rounds` experiment.
+pub fn log_star(n: f64) -> u32 {
+    assert!(n.is_finite(), "log_star of non-finite value");
+    let mut x = n;
+    let mut iters = 0u32;
+    while x > 1.0 {
+        x = x.log2();
+        iters += 1;
+        assert!(iters < 64, "log_star diverged");
+    }
+    iters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_known_values() {
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+        // 2^65536 territory: anything practical is ≤ 5.
+        assert_eq!(log_star(1e30), 5);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let o = ParallelOutcome {
+            protocol: "x".into(),
+            n: 2,
+            m: 3,
+            rounds: 2,
+            messages: 9,
+            loads: vec![2, 1],
+        };
+        o.validate();
+        assert_eq!(o.max_load(), 2);
+        assert!((o.messages_per_ball() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_catches_bad_mass() {
+        ParallelOutcome {
+            protocol: "x".into(),
+            n: 2,
+            m: 5,
+            rounds: 1,
+            messages: 5,
+            loads: vec![1, 1],
+        }
+        .validate();
+    }
+}

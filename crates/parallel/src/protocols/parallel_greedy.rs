@@ -1,0 +1,204 @@
+//! Round-restricted parallel `greedy[d]` (Adler, Chakrabarti,
+//! Mitzenmacher & Rasmussen [1]).
+//!
+//! The [1] model: each ball commits to `d` uniform candidate bins up
+//! front; communication proceeds in `r` synchronous rounds, after which
+//! *every ball must be placed* in one of its candidates. Their lower
+//! bound says max load `Ω((log n / log log n)^{1/r})` for constant
+//! rounds; more rounds ⇒ better balance.
+//!
+//! We implement the natural committed-candidates process:
+//!
+//! * rounds 1 … r−1: every unplaced ball asks its currently
+//!   least-loaded candidate (by the *confirmed* loads it has heard);
+//!   each bin admits at most `q_r` new balls per round (FIFO over a
+//!   random permutation) and rejects the rest;
+//! * final round: every still-unplaced ball is force-placed into its
+//!   least-loaded candidate (everyone must land).
+//!
+//! With `d = 2` and a handful of rounds the max load lands in the
+//! `O(√(log n / log log n))`-ish band between one-round (= `d`-choice
+//! collision) and unrestricted `greedy[2]`.
+
+use super::ParallelOutcome;
+use bib_rng::{Rng64, RngExt};
+
+/// The round-restricted parallel greedy protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelGreedy {
+    d: u32,
+    rounds: u32,
+    per_round: u32,
+}
+
+impl ParallelGreedy {
+    /// `d ≥ 1` candidates per ball, `rounds ≥ 1` communication rounds,
+    /// and at most `per_round ≥ 1` admissions per bin per round.
+    pub fn new(d: u32, rounds: u32, per_round: u32) -> Self {
+        assert!(d >= 1, "need at least one candidate");
+        assert!(rounds >= 1, "need at least one round");
+        assert!(per_round >= 1, "bins must admit at least one ball per round");
+        Self {
+            d,
+            rounds,
+            per_round,
+        }
+    }
+
+    /// Candidates per ball.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Round budget.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Runs the process; all `m` balls are placed by construction.
+    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> ParallelOutcome {
+        assert!(n > 0, "need at least one bin");
+        assert!(m <= u32::MAX as u64, "ball ids are u32");
+        let d = self.d as usize;
+        // Committed candidates, ball-major.
+        let mut candidates: Vec<u32> = Vec::with_capacity(m as usize * d);
+        for _ in 0..m {
+            for _ in 0..d {
+                candidates.push(rng.range_usize(n) as u32);
+            }
+        }
+        let mut loads = vec![0u32; n];
+        let mut unplaced: Vec<u32> = (0..m as u32).collect();
+        let mut messages = 0u64;
+        let mut requests: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rounds_used = 0u32;
+
+        let best_candidate = |ball: u32, loads: &[u32]| -> u32 {
+            let cs = &candidates[ball as usize * d..(ball as usize + 1) * d];
+            *cs.iter()
+                .min_by_key(|&&b| loads[b as usize])
+                .expect("d ≥ 1")
+        };
+
+        // Negotiation rounds (all but the last).
+        for _ in 1..self.rounds {
+            if unplaced.is_empty() {
+                break;
+            }
+            rounds_used += 1;
+            for r in requests.iter_mut() {
+                r.clear();
+            }
+            for &ball in &unplaced {
+                let b = best_candidate(ball, &loads);
+                requests[b as usize].push(ball);
+                messages += 1;
+            }
+            let mut placed: Vec<bool> = vec![false; m as usize];
+            for (bin, reqs) in requests.iter_mut().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                // Admit a uniformly random subset of size ≤ per_round.
+                rng.shuffle(reqs);
+                for &ball in reqs.iter().take(self.per_round as usize) {
+                    loads[bin] += 1;
+                    placed[ball as usize] = true;
+                    messages += 1; // accept
+                }
+            }
+            unplaced.retain(|&b| !placed[b as usize]);
+        }
+
+        // Final forced round — synchronous: every ball decides against
+        // the loads as of the round start (no sequential information
+        // advantage).
+        if !unplaced.is_empty() {
+            rounds_used += 1;
+            let snapshot = loads.clone();
+            for &ball in &unplaced {
+                let b = best_candidate(ball, &snapshot);
+                loads[b as usize] += 1;
+                messages += 2; // request + forced accept
+            }
+            unplaced.clear();
+        }
+
+        ParallelOutcome {
+            protocol: format!(
+                "parallel-greedy(d={},r={},q={})",
+                self.d, self.rounds, self.per_round
+            ),
+            n,
+            m,
+            rounds: rounds_used,
+            messages,
+            loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn places_everything_within_round_budget() {
+        let mut rng = SplitMix64::new(1);
+        let out = ParallelGreedy::new(2, 3, 1).run(512, 512, &mut rng);
+        out.validate();
+        assert!(out.rounds <= 3);
+    }
+
+    #[test]
+    fn single_round_is_pure_commitment() {
+        // r = 1: every ball force-places into its least-loaded candidate
+        // as seen at time zero (all-zero loads) — i.e. its first choice
+        // tie-broken by the min operator; load can pile up.
+        let mut rng = SplitMix64::new(2);
+        let out = ParallelGreedy::new(2, 1, 1).run(256, 256, &mut rng);
+        out.validate();
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn more_rounds_never_hurt_much() {
+        let n = 1 << 14;
+        let maxload = |rounds: u32, seed: u64| -> u32 {
+            let mut rng = SplitMix64::new(seed);
+            ParallelGreedy::new(2, rounds, 1).run(n, n as u64, &mut rng).max_load()
+        };
+        // Average over a few seeds to damp noise.
+        let avg = |rounds: u32| -> f64 {
+            (0..5).map(|s| maxload(rounds, s) as f64).sum::<f64>() / 5.0
+        };
+        let r1 = avg(1);
+        let r3 = avg(3);
+        let r6 = avg(6);
+        assert!(r3 <= r1, "3 rounds ({r3}) worse than 1 ({r1})");
+        assert!(r6 <= r3 + 0.5, "6 rounds ({r6}) worse than 3 ({r3})");
+    }
+
+    #[test]
+    fn messages_bounded_by_rounds_times_m() {
+        let mut rng = SplitMix64::new(3);
+        let out = ParallelGreedy::new(2, 4, 1).run(1024, 1024, &mut rng);
+        assert!(out.messages <= 2 * 4 * 1024);
+    }
+
+    #[test]
+    fn zero_balls() {
+        let mut rng = SplitMix64::new(4);
+        let out = ParallelGreedy::new(3, 2, 1).run(8, 0, &mut rng);
+        out.validate();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rounds_rejected() {
+        ParallelGreedy::new(2, 0, 1);
+    }
+}

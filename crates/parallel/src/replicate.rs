@@ -1,0 +1,114 @@
+//! Parallel replication of protocol runs — the "average of 100
+//! simulations" machinery behind Figure 3.
+//!
+//! Replicate `r` always uses the stream derived by
+//! `bib_core::run::replicate_seed(master, protocol_name, r)`, so the
+//! outcome vector is bit-identical to the sequential
+//! `bib_core::run::run_replicates` no matter how many threads execute it
+//! (there is an integration test asserting exactly that).
+
+use crate::executor::{available_threads, par_map};
+use bib_core::protocol::{NullObserver, Outcome, Protocol, RunConfig};
+use bib_core::run::replicate_seed;
+use bib_rng::SeedSequence;
+
+/// What to replicate and how hard to push the machine.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicateSpec {
+    /// Number of independent replicates.
+    pub reps: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (`None` = machine parallelism).
+    pub threads: Option<usize>,
+}
+
+impl ReplicateSpec {
+    /// `reps` replicates under `seed`, machine-default threads.
+    pub fn new(reps: u64, seed: u64) -> Self {
+        Self {
+            reps,
+            seed,
+            threads: None,
+        }
+    }
+
+    /// Overrides the thread count (use `Some(1)` for strictly sequential
+    /// execution).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// Runs `spec.reps` independent replicates of `protocol` under `cfg` in
+/// parallel and returns the outcomes in replicate order.
+pub fn replicate_outcomes(
+    protocol: &(dyn Protocol + Sync),
+    cfg: &RunConfig,
+    spec: &ReplicateSpec,
+) -> Vec<Outcome> {
+    let threads = spec.threads.unwrap_or_else(available_threads);
+    let name = protocol.name();
+    par_map(spec.reps as usize, threads, |rep| {
+        let s = replicate_seed(spec.seed, &name, rep as u64);
+        let mut rng = SeedSequence::new(s).rng();
+        let out = protocol.allocate(cfg, &mut rng, &mut NullObserver);
+        out.validate();
+        out
+    })
+}
+
+/// Summary statistics over a metric of replicated outcomes.
+///
+/// Convenience used by every experiment binary: maps each outcome to a
+/// scalar and accumulates a [`bib_analysis::Welford`].
+pub fn summarize_metric<F>(outcomes: &[Outcome], metric: F) -> bib_analysis::Summary
+where
+    F: Fn(&Outcome) -> f64,
+{
+    let mut w = bib_analysis::Welford::new();
+    for o in outcomes {
+        w.push(metric(o));
+    }
+    w.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_core::protocols::{Adaptive, Threshold};
+    use bib_core::run::run_replicates;
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let cfg = RunConfig::new(32, 320);
+        let seq = run_replicates(&Adaptive::paper(), &cfg, 11, 8);
+        for threads in [1usize, 2, 7] {
+            let par = replicate_outcomes(
+                &Adaptive::paper(),
+                &cfg,
+                &ReplicateSpec::new(8, 11).with_threads(threads),
+            );
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_reps_is_empty() {
+        let cfg = RunConfig::new(4, 4);
+        let out = replicate_outcomes(&Threshold, &cfg, &ReplicateSpec::new(0, 1));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn summaries_aggregate_metrics() {
+        let cfg = RunConfig::new(16, 160);
+        let outs = replicate_outcomes(&Threshold, &cfg, &ReplicateSpec::new(10, 3));
+        let s = summarize_metric(&outs, |o| o.time_ratio());
+        assert_eq!(s.count, 10);
+        assert!(s.mean >= 1.0, "time ratio mean {}", s.mean);
+        let g = summarize_metric(&outs, |o| o.gap() as f64);
+        assert!(g.min >= 0.0);
+    }
+}

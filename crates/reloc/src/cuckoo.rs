@@ -1,0 +1,286 @@
+//! Cuckoo hashing with `d` choices and buckets of size `k`.
+//!
+//! The balls-into-bins view (paper §1, \[8\]): items are balls, buckets are
+//! bins of capacity `k`, and when all `d` candidate buckets of a new item
+//! are full, a resident item is *reallocated* to one of its own other
+//! choices (random-walk eviction). The `cuckoo_thresholds` experiment
+//! (E10) measures how the reallocation cost explodes as the load factor
+//! approaches the (d, k) threshold — the quantitative version of the
+//! paper's remark that reallocations are expensive.
+//!
+//! Hash functions are SplitMix64 finalisers over `key ⊕ seedᵢ`, mapped to
+//! buckets by multiply-shift — real hashing, not per-item stored
+//! randomness, so lookups work.
+
+use bib_rng::{Rng64, RngExt, SplitMix64};
+
+/// Reasons an insertion can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The random-walk eviction chain exceeded the kick budget; the
+    /// displaced key was parked in the stash (the table stays lossless).
+    /// This is the practical "table is full" signal.
+    KickBudgetExhausted {
+        /// Evictions performed before giving up.
+        kicks: u64,
+    },
+    /// The key is already present (the table stores a set).
+    DuplicateKey,
+}
+
+/// A cuckoo hash table of `u64` keys with an overflow stash.
+///
+/// # Examples
+///
+/// ```
+/// use bib_reloc::CuckooTable;
+/// use bib_rng::SplitMix64;
+///
+/// let mut t = CuckooTable::new(64, 2, 2, 42); // 64 buckets × 2 slots, d = 2
+/// let mut rng = SplitMix64::new(1);
+/// t.insert(1234, &mut rng).unwrap();
+/// assert!(t.contains(1234));
+/// assert!(!t.contains(999));
+/// assert!(t.remove(1234));
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuckooTable {
+    /// `buckets[b]` holds up to `k` keys.
+    buckets: Vec<Vec<u64>>,
+    /// Keys whose eviction walk ran out of budget. Kept lossless; checked
+    /// by `contains`/`remove`. A growing stash means the table is past
+    /// its load threshold.
+    stash: Vec<u64>,
+    seeds: Vec<u64>,
+    k: usize,
+    len: usize,
+    max_kicks: u64,
+}
+
+impl CuckooTable {
+    /// A table with `nbuckets` buckets of size `k`, `d` hash functions
+    /// derived from `seed`, and a default kick budget of 500.
+    pub fn new(nbuckets: usize, k: usize, d: usize, seed: u64) -> Self {
+        assert!(nbuckets > 0, "need at least one bucket");
+        assert!(k >= 1, "bucket size must be ≥ 1");
+        assert!(d >= 2, "cuckoo hashing needs d ≥ 2 choices");
+        let mut sm = SplitMix64::new(seed);
+        let seeds: Vec<u64> = (0..d).map(|_| sm.next_u64()).collect();
+        Self {
+            buckets: vec![Vec::with_capacity(k); nbuckets],
+            stash: Vec::new(),
+            seeds,
+            k,
+            len: 0,
+            max_kicks: 500,
+        }
+    }
+
+    /// Overrides the eviction budget.
+    pub fn with_max_kicks(mut self, max_kicks: u64) -> Self {
+        self.max_kicks = max_kicks;
+        self
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets.
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket capacity `k`.
+    pub fn bucket_size(&self) -> usize {
+        self.k
+    }
+
+    /// Number of hash choices `d`.
+    pub fn d(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Fraction of slots occupied, `len / (k·nbuckets)`.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / (self.k * self.buckets.len()) as f64
+    }
+
+    /// The `i`-th candidate bucket of `key`.
+    pub fn bucket_of(&self, key: u64, i: usize) -> usize {
+        let h = SplitMix64::mix(key ^ self.seeds[i]);
+        // Multiply-shift onto [0, nbuckets).
+        ((h as u128 * self.buckets.len() as u128) >> 64) as usize
+    }
+
+    /// Whether `key` is stored (buckets or stash).
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.seeds.len()).any(|i| self.buckets[self.bucket_of(key, i)].contains(&key))
+            || self.stash.contains(&key)
+    }
+
+    /// Number of keys currently parked in the overflow stash.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Inserts `key`, returning the number of evictions ("kicks")
+    /// performed. On a duplicate nothing changes. When the kick budget
+    /// runs out the key in hand (the last displaced one) is parked in
+    /// the stash: the table remains lossless and consistent, and the
+    /// error reports how much work was burned.
+    pub fn insert<R: Rng64 + ?Sized>(&mut self, key: u64, rng: &mut R) -> Result<u64, InsertError> {
+        if self.contains(key) {
+            return Err(InsertError::DuplicateKey);
+        }
+        let d = self.seeds.len();
+        let mut cur = key;
+        let mut kicks = 0u64;
+        loop {
+            // Any candidate bucket with room?
+            for i in 0..d {
+                let b = self.bucket_of(cur, i);
+                if self.buckets[b].len() < self.k {
+                    self.buckets[b].push(cur);
+                    self.len += 1;
+                    return Ok(kicks);
+                }
+            }
+            if kicks >= self.max_kicks {
+                self.stash.push(cur);
+                self.len += 1;
+                return Err(InsertError::KickBudgetExhausted { kicks });
+            }
+            // All full: evict a random resident of a random candidate.
+            let i = rng.range_usize(d);
+            let b = self.bucket_of(cur, i);
+            let slot = rng.range_usize(self.k);
+            std::mem::swap(&mut self.buckets[b][slot], &mut cur);
+            kicks += 1;
+        }
+    }
+
+    /// Removes `key` if present; returns whether it was stored.
+    pub fn remove(&mut self, key: u64) -> bool {
+        for i in 0..self.seeds.len() {
+            let b = self.bucket_of(key, i);
+            if let Some(pos) = self.buckets[b].iter().position(|&x| x == key) {
+                self.buckets[b].swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        if let Some(pos) = self.stash.iter().position(|&x| x == key) {
+            self.stash.swap_remove(pos);
+            self.len -= 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let mut t = CuckooTable::new(64, 2, 2, 7);
+        let mut rng = SplitMix64::new(1);
+        for key in 0..50u64 {
+            t.insert(key, &mut rng).expect("insert at low load");
+        }
+        assert_eq!(t.len(), 50);
+        for key in 0..50u64 {
+            assert!(t.contains(key), "missing {key}");
+        }
+        assert!(!t.contains(999));
+        assert!(t.remove(25));
+        assert!(!t.contains(25));
+        assert!(!t.remove(25));
+        assert_eq!(t.len(), 49);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut t = CuckooTable::new(16, 2, 2, 3);
+        let mut rng = SplitMix64::new(2);
+        t.insert(42, &mut rng).unwrap();
+        assert_eq!(t.insert(42, &mut rng), Err(InsertError::DuplicateKey));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn low_load_needs_no_kicks() {
+        let mut t = CuckooTable::new(1024, 4, 2, 5);
+        let mut rng = SplitMix64::new(3);
+        let mut total_kicks = 0u64;
+        for key in 0..1024u64 {
+            // 25% load factor.
+            total_kicks += t.insert(key, &mut rng).unwrap();
+        }
+        assert!(total_kicks < 64, "kicks {total_kicks} at 25% load");
+    }
+
+    #[test]
+    fn kicks_explode_near_threshold() {
+        // (d=2, k=1) threshold is 50% load. Compare kicks at 40% vs 49%.
+        let nbuckets = 4096usize;
+        let run_to = |frac: f64, seed: u64| -> u64 {
+            let mut t = CuckooTable::new(nbuckets, 1, 2, seed).with_max_kicks(5_000);
+            let mut rng = SplitMix64::new(seed);
+            let target = (frac * nbuckets as f64) as u64;
+            let mut kicks = 0u64;
+            for key in 0..target {
+                match t.insert(key, &mut rng) {
+                    Ok(k) => kicks += k,
+                    Err(InsertError::KickBudgetExhausted { kicks: k }) => kicks += k,
+                    Err(InsertError::DuplicateKey) => unreachable!(),
+                }
+            }
+            kicks
+        };
+        let low = run_to(0.40, 11);
+        let high = run_to(0.49, 11);
+        assert!(
+            high > 2 * low.max(1),
+            "kicks should blow up near threshold: 40%→{low}, 49%→{high}"
+        );
+    }
+
+    #[test]
+    fn load_factor_accounts_slots() {
+        let mut t = CuckooTable::new(10, 2, 2, 9);
+        let mut rng = SplitMix64::new(4);
+        for key in 0..10u64 {
+            t.insert(key, &mut rng).unwrap();
+        }
+        assert!((t.load_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookups_use_real_hashes_not_stored_state() {
+        // A fresh table with the same seed must agree on bucket_of.
+        let a = CuckooTable::new(128, 2, 3, 77);
+        let b = CuckooTable::new(128, 2, 3, 77);
+        for key in [1u64, 99, 12345] {
+            for i in 0..3 {
+                assert_eq!(a.bucket_of(key, i), b.bucket_of(key, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_choice_rejected() {
+        CuckooTable::new(8, 1, 1, 0);
+    }
+}

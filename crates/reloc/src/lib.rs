@@ -1,0 +1,26 @@
+//! Reallocation-based allocation schemes.
+//!
+//! Section 1 of the paper contrasts its *sample-only* protocols with
+//! schemes that may *move balls after placement*:
+//!
+//! * [`crs`] — the self-balancing approach of Czumaj, Riley & Scheideler
+//!   \[6\]: an initial `greedy[2]` placement followed by iterated switches
+//!   of balls between their two recorded choices. Achieves (nearly)
+//!   perfect balance `⌈m/n⌉`, at the price of reallocation steps, which
+//!   the paper points out "are typically expensive".
+//! * [`cuckoo`] — a cuckoo-hashing substrate (d bucket choices of size
+//!   k, random-walk eviction), the data-structure incarnation of
+//!   reallocation that the paper cites \[8\]; it backs the hashing example
+//!   and the E10 threshold experiment.
+//!
+//! Both record their reallocation counts separately from sample counts so
+//! Table 1's cost comparison is honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crs;
+pub mod cuckoo;
+
+pub use crs::{Crs, CrsOutcome};
+pub use cuckoo::{CuckooTable, InsertError};

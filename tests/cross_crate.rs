@@ -1,0 +1,88 @@
+//! Integration tests spanning the substrate crates: parallel replication
+//! vs sequential, reallocation schemes vs core outcomes, RNG/analysis
+//! agreement.
+
+use balls_into_bins::analysis::chisq::chi_square_uniform;
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::parallel::{replicate_outcomes, ReplicateSpec};
+use balls_into_bins::reloc::Crs;
+use balls_into_bins::rng::{RngExt, SeedSequence};
+
+#[test]
+fn parallel_replication_matches_sequential_exactly() {
+    let cfg = RunConfig::new(64, 640).with_engine(Engine::Jump);
+    let seq = run_replicates(&Threshold, &cfg, 123, 12);
+    let par = replicate_outcomes(
+        &Threshold,
+        &cfg,
+        &ReplicateSpec::new(12, 123).with_threads(4),
+    );
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn crs_beats_paper_protocols_on_balance_but_pays_reallocations() {
+    // Table 1's trade-off in one test: CRS reaches ⌈m/n⌉(+1) but moves
+    // balls; adaptive/threshold never move balls but allow +1 over ⌈m/n⌉.
+    let n = 512usize;
+    let m = 32 * n as u64;
+    let mut rng = SeedSequence::new(5).rng();
+    let crs = Crs::new().run(n, m, &mut rng);
+    crs.validate();
+    assert!(crs.max_load() <= crs.target() + 1);
+    assert!(crs.reallocations > 0, "self-balancing should do some work");
+
+    let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
+    let ada = run_protocol(&Adaptive::paper(), &cfg, 5);
+    assert!(ada.max_load() as u64 <= cfg.max_load_bound());
+}
+
+#[test]
+fn protocol_bin_choices_are_uniform() {
+    // End-to-end RNG sanity: one-choice's final loads over many balls
+    // must pass a uniformity chi-square against the analysis crate.
+    let n = 64usize;
+    let m = 64_000u64;
+    let cfg = RunConfig::new(n, m);
+    let out = run_protocol(&OneChoice, &cfg, 321);
+    let counts: Vec<u64> = out.loads.iter().map(|&l| l as u64).collect();
+    let r = chi_square_uniform(&counts);
+    assert!(r.p_value > 1e-4, "chi2 {} p {}", r.statistic, r.p_value);
+}
+
+#[test]
+fn seed_sequences_do_not_collide_across_crate_usages() {
+    // The harness derives seeds by (master, name, replicate); two
+    // protocols sharing a master seed must still see distinct streams —
+    // verified on raw u64 output.
+    let a = SeedSequence::new(9).child_str("adaptive").child(0);
+    let b = SeedSequence::new(9).child_str("threshold").child(0);
+    let mut ra = a.rng();
+    let mut rb = b.rng();
+    let va: Vec<u64> = (0..8).map(|_| ra.range_u64(u64::MAX)).collect();
+    let vb: Vec<u64> = (0..8).map(|_| rb.range_u64(u64::MAX)).collect();
+    assert_ne!(va, vb);
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Compile-time integration: one program touching all five crates.
+    use balls_into_bins::analysis::paper::constants;
+    use balls_into_bins::parallel::protocols::BoundedLoad;
+    use balls_into_bins::reloc::CuckooTable;
+
+    let k = constants();
+    assert!(k.kappa > 0.0);
+
+    let mut rng = SeedSequence::new(1).rng();
+    let po = BoundedLoad::new(2).run(128, 128, &mut rng);
+    assert!(po.max_load() <= 2);
+
+    let mut t = CuckooTable::new(64, 2, 2, 3);
+    t.insert(42, &mut rng).unwrap();
+    assert!(t.contains(42));
+
+    let cfg = RunConfig::new(32, 320);
+    let out = run_protocol(&Adaptive::paper(), &cfg, 1);
+    assert!(out.max_load() as u64 <= cfg.max_load_bound());
+}
