@@ -30,7 +30,10 @@ pub fn azuma(cs: &[f64], eps: f64) -> f64 {
 /// `Pr[Poi(μ) ≤ (1−ε)μ] ≤ e^{−ε²μ/2}`.
 pub fn poisson_lower_tail(mu: f64, eps: f64) -> f64 {
     assert!(mu > 0.0, "poisson_lower_tail: μ must be positive");
-    assert!((0.0..=1.0).contains(&eps), "poisson_lower_tail: ε must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&eps),
+        "poisson_lower_tail: ε must be in [0,1]"
+    );
     (-(eps * eps) * mu / 2.0).exp().min(1.0)
 }
 
@@ -50,7 +53,9 @@ pub fn poisson_upper_tail(mu: f64, eps: f64) -> f64 {
 pub fn geometric_sum_tail(n: u64, eps: f64) -> f64 {
     assert!(n > 0, "geometric_sum_tail: n must be positive");
     assert!(eps >= 0.0, "geometric_sum_tail: ε must be non-negative");
-    (-(eps * eps) * n as f64 / (2.0 * (1.0 + eps))).exp().min(1.0)
+    (-(eps * eps) * n as f64 / (2.0 * (1.0 + eps)))
+        .exp()
+        .min(1.0)
 }
 
 /// The extension to sub-geometric variables (Theorem A.6): variables on ℕ
@@ -165,7 +170,10 @@ mod tests {
         let mean = d.mean();
         for &eps in &[0.2, 0.5, 1.0] {
             let k = ((1.0 + eps) * mean).ceil() as u64;
-            assert!(d.tail(k) <= binomial_upper_tail(mean, eps) + 1e-12, "eps={eps}");
+            assert!(
+                d.tail(k) <= binomial_upper_tail(mean, eps) + 1e-12,
+                "eps={eps}"
+            );
         }
     }
 }

@@ -40,7 +40,11 @@ pub fn chi_square_gof(
     overflow_count: u64,
     min_expected: f64,
 ) -> ChiSquare {
-    assert_eq!(observed.len(), probs.len(), "chi_square_gof: length mismatch");
+    assert_eq!(
+        observed.len(),
+        probs.len(),
+        "chi_square_gof: length mismatch"
+    );
     let n: u64 = observed.iter().sum::<u64>() + overflow_count;
     assert!(n > 0, "chi_square_gof: no observations");
     let covered: f64 = probs.iter().sum();

@@ -60,12 +60,7 @@ pub fn majorizes_with_tol(p: &[f64], q: &[f64], tol: f64) -> bool {
 /// majorises `q` and `r` is non-increasing. Returns the pair of dot
 /// products `(Σ p r, Σ q r)` so callers can assert the inequality.
 pub fn lemma_a1_dot_products(p: &[f64], q: &[f64], r: &[f64]) -> (f64, f64) {
-    let dot = |s: &[f64]| -> f64 {
-        s.iter()
-            .zip(r.iter())
-            .map(|(a, b)| a * b)
-            .sum()
-    };
+    let dot = |s: &[f64]| -> f64 { s.iter().zip(r.iter()).map(|(a, b)| a * b).sum() };
     (dot(p), dot(q))
 }
 

@@ -87,9 +87,7 @@ mod tests {
     #[test]
     fn partial_collection_edges() {
         assert_eq!(expected_partial_collection(10, 0), 0.0);
-        assert!(
-            (expected_partial_collection(10, 10) - expected_full_collection(10)).abs() < 1e-12
-        );
+        assert!((expected_partial_collection(10, 10) - expected_full_collection(10)).abs() < 1e-12);
         // First coupon always takes exactly one sample.
         assert!((expected_partial_collection(7, 1) - 1.0).abs() < 1e-12);
     }

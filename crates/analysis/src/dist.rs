@@ -110,7 +110,10 @@ pub struct Binomial {
 impl Binomial {
     /// Creates a binomial distribution; panics unless `p ∈ [0, 1]`.
     pub fn new(n: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "Binomial p must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial p must be in [0,1], got {p}"
+        );
         Self { n, p }
     }
 
@@ -316,10 +319,7 @@ impl Hypergeometric {
 
     /// Support bounds `[max(0, k+s−n), min(k, s)]`.
     pub fn support(&self) -> (u64, u64) {
-        (
-            (self.k + self.s).saturating_sub(self.n),
-            self.k.min(self.s),
-        )
+        ((self.k + self.s).saturating_sub(self.n), self.k.min(self.s))
     }
 
     /// Probability mass `Pr[X = x] = C(s,x)·C(n−s,k−x)/C(n,k)`.

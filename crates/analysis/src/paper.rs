@@ -147,7 +147,11 @@ impl std::fmt::Display for PaperConstants {
         writeln!(f, "epsilon      = {:.6}", self.epsilon)?;
         writeln!(f, "C1           = {}", self.c1)?;
         writeln!(f, "beta         = {:.3e}  (paper: > 0.000012)", self.beta)?;
-        writeln!(f, "kappa        = {:.3e}  (paper: >= beta - 2e-7 > 2e-7)", self.kappa)?;
+        writeln!(
+            f,
+            "kappa        = {:.3e}  (paper: >= beta - 2e-7 > 2e-7)",
+            self.kappa
+        )?;
         writeln!(f, "rho_n / n    = {:.3e}", self.rho_over_n)?;
         write!(f, "E[Phi]/n cap = {:.3e}", self.phi_over_n)
     }
@@ -172,7 +176,10 @@ mod tests {
             "C1={c} is not minimal"
         );
         // Sanity: Poisson(≈1) tails die fast; C1 should be modest.
-        assert!((5..40).contains(&c), "C1={c} is outside the plausible range");
+        assert!(
+            (5..40).contains(&c),
+            "C1={c} is outside the plausible range"
+        );
     }
 
     #[test]

@@ -356,10 +356,7 @@ mod tests {
         let mut fact = 1.0f64;
         for k in 1..20u32 {
             fact *= k as f64;
-            assert!(
-                close(ln_gamma(k as f64 + 1.0), fact.ln(), 1e-12),
-                "k={k}"
-            );
+            assert!(close(ln_gamma(k as f64 + 1.0), fact.ln(), 1e-12), "k={k}");
         }
     }
 
@@ -397,7 +394,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_complementary() {
-        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.0, 2.0), (10.0, 14.0), (100.0, 80.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (1.0, 1.0),
+            (3.0, 2.0),
+            (10.0, 14.0),
+            (100.0, 80.0),
+        ] {
             let p = gamma_p(a, x);
             let q = gamma_q(a, x);
             assert!(close(p + q, 1.0, 1e-12), "a={a} x={x} p+q={}", p + q);

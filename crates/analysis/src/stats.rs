@@ -243,7 +243,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "linear_fit: degenerate x values");
     let b = sxy / sxx;
     let a = my - b * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (a, b, r2)
 }
 
@@ -392,7 +396,16 @@ mod tests {
     #[test]
     fn linear_fit_r2_for_noise() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| x + if (*x as u64).is_multiple_of(2) { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| {
+                x + if (*x as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
         let (_, b, r2) = linear_fit(&xs, &ys);
         assert!(b > 0.9 && b < 1.1);
         assert!(r2 < 1.0 && r2 > 0.9);

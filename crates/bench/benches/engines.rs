@@ -1,4 +1,4 @@
-//! Criterion: **E11 engine ablation** — the naive retry loop vs the
+//! Criterion: **E11 engine ablation** — the faithful retry loop vs the
 //! geometric-jump engine, across load levels.
 //!
 //! The two engines are distributionally identical (see
@@ -8,8 +8,8 @@
 
 use bib_core::prelude::*;
 use bib_rng::SeedSequence;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn bench_engines(c: &mut Criterion) {
     let n = 2048usize;
@@ -17,24 +17,20 @@ fn bench_engines(c: &mut Criterion) {
         let m = phi * n as u64;
         let mut group = c.benchmark_group(format!("engines/phi={phi}"));
         group.throughput(Throughput::Elements(m));
-        for (label, engine) in [("naive", Engine::Naive), ("jump", Engine::Jump)] {
+        for (label, engine) in [("faithful", Engine::Faithful), ("jump", Engine::Jump)] {
             for proto in [
                 Box::new(Adaptive::paper()) as Box<dyn Protocol>,
                 Box::new(Threshold),
             ] {
                 let cfg = RunConfig::new(n, m).with_engine(engine);
-                group.bench_with_input(
-                    BenchmarkId::new(proto.name(), label),
-                    &cfg,
-                    |b, cfg| {
-                        let mut seed = 0u64;
-                        b.iter(|| {
-                            seed += 1;
-                            let mut rng = SeedSequence::new(seed).rng();
-                            proto.allocate(cfg, &mut rng, &mut NullObserver)
-                        });
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(proto.name(), label), &cfg, |b, cfg| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut rng = SeedSequence::new(seed).rng();
+                        proto.allocate(cfg, &mut rng, &mut NullObserver)
+                    });
+                });
             }
         }
         group.finish();

@@ -9,8 +9,8 @@ use bib_core::prelude::*;
 use bib_parallel::protocols::{BoundedLoad, Collision};
 use bib_parallel::{par_map, replicate_outcomes, ReplicateSpec};
 use bib_rng::SeedSequence;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn bench_executor(c: &mut Criterion) {
     let cfg = RunConfig::new(512, 512 * 8).with_engine(Engine::Jump);

@@ -9,8 +9,8 @@ use bib_core::potential::{
     exponential_potential, gap, ln_exponential_potential, quadratic_potential, EPSILON,
 };
 use bib_rng::{RngExt, SeedSequence};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn make_loads(n: usize) -> Vec<u32> {
     let mut rng = SeedSequence::new(42).rng();
@@ -32,9 +32,7 @@ fn bench_potentials(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ln_exponential", n), &loads, |b, l| {
             b.iter(|| ln_exponential_potential(l, t, EPSILON))
         });
-        group.bench_with_input(BenchmarkId::new("gap", n), &loads, |b, l| {
-            b.iter(|| gap(l))
-        });
+        group.bench_with_input(BenchmarkId::new("gap", n), &loads, |b, l| b.iter(|| gap(l)));
         group.finish();
     }
 }

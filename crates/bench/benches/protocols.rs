@@ -8,8 +8,8 @@
 use bib_core::prelude::*;
 use bib_core::protocols::table1_suite;
 use bib_rng::SeedSequence;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn bench_protocols(c: &mut Criterion) {
     let n = 4096usize;
@@ -18,18 +18,14 @@ fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols");
     group.throughput(Throughput::Elements(m));
     for proto in table1_suite() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(proto.name()),
-            &cfg,
-            |b, cfg| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let mut rng = SeedSequence::new(seed).rng();
-                    proto.allocate(cfg, &mut rng, &mut NullObserver)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                proto.allocate(cfg, &mut rng, &mut NullObserver)
+            });
+        });
     }
     group.finish();
 }

@@ -6,8 +6,8 @@
 
 use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler, PoissonSampler, Zipf};
 use bib_rng::{Pcg32, Rng64, RngExt, SplitMix64, Xoshiro256PlusPlus, Xoshiro256StarStar};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("rng/next_u64");

@@ -19,7 +19,16 @@ use bib_parallel::{replicate_outcomes, ReplicateSpec};
 fn main() {
     let args = ExpArgs::parse();
     let ns: Vec<usize> = args.pick(
-        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17],
+        vec![
+            1 << 10,
+            1 << 11,
+            1 << 12,
+            1 << 13,
+            1 << 14,
+            1 << 15,
+            1 << 16,
+            1 << 17,
+        ],
         vec![1 << 8, 1 << 10],
     );
     let phi_load = 32u64;
@@ -27,14 +36,20 @@ fn main() {
 
     let consts = paper::constants();
     println!("# Corollary 3.5: adaptive smoothness vs n at phi = {phi_load}; {reps} reps");
-    println!("# analytic ceiling from the paper's constants: E[Phi]/n <= {}\n", f(consts.phi_over_n));
+    println!(
+        "# analytic ceiling from the paper's constants: E[Phi]/n <= {}\n",
+        f(consts.phi_over_n)
+    );
 
     let mut table = Table::new(vec!["n", "phi/n", "psi/n", "gap", "gap/log2(n)"]);
     for &n in &ns {
         let m = phi_load * n as u64;
         let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
-        let outs =
-            replicate_outcomes(&Adaptive::paper(), &cfg, &ReplicateSpec::new(reps, args.seed));
+        let outs = replicate_outcomes(
+            &Adaptive::paper(),
+            &cfg,
+            &ReplicateSpec::new(reps, args.seed),
+        );
         let phi = summarize_metric(&outs, |o| o.phi() / n as f64);
         let psi = summarize_metric(&outs, |o| o.psi() / n as f64);
         let gap = summarize_metric(&outs, |o| o.gap() as f64);

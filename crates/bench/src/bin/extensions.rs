@@ -44,13 +44,20 @@ fn main() {
             gap.push(out.gap() as f64);
             exc.push(out.max_load() as f64 - phi as f64);
         }
-        table.row(vec![b.to_string(), f(time.mean()), f(gap.mean()), f(exc.mean())]);
+        table.row(vec![
+            b.to_string(),
+            f(time.mean()),
+            f(gap.mean()),
+            f(exc.mean()),
+        ]);
     }
     table.print(&args);
     println!("\n# Expected: time/m rises mildly with b; max_excess stays <= 1 for ALL b.\n");
 
     // --- heterogeneity sweep ---------------------------------------------
-    println!("# Extension B: weighted adaptive vs weighted one-choice; n = {n}, m = {m}, {reps} reps\n");
+    println!(
+        "# Extension B: weighted adaptive vs weighted one-choice; n = {n}, m = {m}, {reps} reps\n"
+    );
     let mut table = Table::new(vec![
         "skew",
         "ada_time/m",
@@ -61,9 +68,7 @@ fn main() {
     ]);
     // Skew s: weights 1..s interleaved.
     for &skew in args.pick(&[1u32, 2, 8, 32][..], &[1u32, 8][..]) {
-        let weights: Vec<f64> = (0..n)
-            .map(|j| 1.0 + (j as u32 % skew) as f64)
-            .collect();
+        let weights: Vec<f64> = (0..n).map(|j| 1.0 + (j as u32 % skew) as f64).collect();
         let ada = WeightedAdaptive::new(weights.clone());
         let one = WeightedOneChoice::new(weights);
         let mut a_time = Welford::new();

@@ -54,5 +54,7 @@ fn main() {
     }
 
     table.print(&args);
-    println!("\n# Expected shape: threshold_T/m -> 1 from above; adaptive_T/m -> small constant > 1.");
+    println!(
+        "\n# Expected shape: threshold_T/m -> 1 from above; adaptive_T/m -> small constant > 1."
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
         f(consts.kappa / 2.0),
         f(consts.rho_over_n)
     );
-    println!("# naive drift estimate for this start shape: ≈ ε/(1+ε) = {}\n", f(EPSILON / (1.0 + EPSILON)));
+    println!(
+        "# naive drift estimate for this start shape: ≈ ε/(1+ε) = {}\n",
+        f(EPSILON / (1.0 + EPSILON))
+    );
 
     let mut table = Table::new(vec![
         "phi0/n",

@@ -45,7 +45,10 @@ fn main() {
         let mut pg1 = Welford::new();
         let mut pg4 = Welford::new();
         for rep in 0..reps {
-            let mut rng = SeedSequence::new(args.seed).child(e as u64).child(rep).rng();
+            let mut rng = SeedSequence::new(args.seed)
+                .child(e as u64)
+                .child(rep)
+                .rng();
             let bl = BoundedLoad::new(2).run(n, n as u64, &mut rng);
             bl.validate();
             blr.push(bl.rounds as f64);
@@ -80,6 +83,8 @@ fn main() {
     table.print(&args);
     println!("\n# Expected shape: bl_rounds grows like log* (very slowly), bl_max <= 2 always,");
     println!("# messages O(1) per ball; collision finishes in log log-ish rounds with");
-    println!("# a larger (but still small) max load. parallel-greedy (d=2, [1]): extra
-# negotiation rounds shave the max load (pg_r4 <= pg_r1).");
+    println!(
+        "# a larger (but still small) max load. parallel-greedy (d=2, [1]): extra
+# negotiation rounds shave the max load (pg_r4 <= pg_r1)."
+    );
 }

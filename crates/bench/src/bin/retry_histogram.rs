@@ -37,9 +37,9 @@ fn main() {
     let phi = 64u64;
     let m = phi * n as u64;
     let cells = 16usize;
-    let cfg = RunConfig::new(n, m).with_engine(Engine::Naive); // faithful retries
+    let cfg = RunConfig::new(n, m).with_engine(Engine::Faithful); // faithful retries
 
-    println!("# Per-ball retry histogram; n = {n}, phi = {phi} (naive engine)\n");
+    println!("# Per-ball retry histogram; n = {n}, phi = {phi} (faithful engine)\n");
     let mut table = Table::new(vec![
         "samples",
         "adaptive_frac",

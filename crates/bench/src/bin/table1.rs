@@ -26,11 +26,14 @@ fn main() {
     let phis: &[u64] = args.pick(&[1, 8, 64][..], &[1, 8][..]);
     let reps = args.reps_or(30, 5);
 
-    println!(
-        "# Table 1 (empirical): n = {n}, reps = {reps}; excess = max load − ⌈m/n⌉\n"
-    );
+    println!("# Table 1 (empirical): n = {n}, reps = {reps}; excess = max load − ⌈m/n⌉\n");
     let mut table = Table::new(vec![
-        "protocol", "phi", "time/m", "max_excess", "gap", "realloc/m",
+        "protocol",
+        "phi",
+        "time/m",
+        "max_excess",
+        "gap",
+        "realloc/m",
     ]);
 
     for &phi in phis {

@@ -23,7 +23,9 @@ fn main() {
     let phis: Vec<u64> = args.pick(vec![1, 4, 16, 64], vec![1, 8]);
     let reps = args.reps_or(20, 5);
 
-    println!("# Theorem 3.1: adaptive excess samples (T - m)/m over an (n, phi) grid; {reps} reps\n");
+    println!(
+        "# Theorem 3.1: adaptive excess samples (T - m)/m over an (n, phi) grid; {reps} reps\n"
+    );
     let mut table = Table::new(vec!["n", "phi", "(T-m)/m", "ci95", "max_T/m"]);
 
     let mut global_max = 0.0f64;
@@ -31,7 +33,11 @@ fn main() {
         for &phi in &phis {
             let m = phi * n as u64;
             let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
-            let outs = replicate_outcomes(&Adaptive::paper(), &cfg, &ReplicateSpec::new(reps, args.seed));
+            let outs = replicate_outcomes(
+                &Adaptive::paper(),
+                &cfg,
+                &ReplicateSpec::new(reps, args.seed),
+            );
             let mut w = Welford::new();
             let mut worst: f64 = 0.0;
             for o in &outs {
@@ -51,6 +57,11 @@ fn main() {
     }
 
     table.print(&args);
-    println!("\n# Expected shape: the (T-m)/m column is bounded by a constant (no growth in n or phi).");
-    println!("# Largest observed mean normalised excess: {}", f(global_max));
+    println!(
+        "\n# Expected shape: the (T-m)/m column is bounded by a constant (no growth in n or phi)."
+    );
+    println!(
+        "# Largest observed mean normalised excess: {}",
+        f(global_max)
+    );
 }

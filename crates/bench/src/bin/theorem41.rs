@@ -27,22 +27,14 @@ fn main() {
     println!(
         "# Theorem 4.1: threshold excess (T - m), normalised by m^(3/4) n^(1/4); {reps} reps\n"
     );
-    let mut table = Table::new(vec![
-        "n",
-        "phi",
-        "T-m",
-        "(T-m)/env",
-        "ci95",
-        "(T-m)/m",
-    ]);
+    let mut table = Table::new(vec!["n", "phi", "T-m", "(T-m)/env", "ci95", "(T-m)/m"]);
 
     for &n in &ns {
         for &phi in &phis {
             let m = phi * n as u64;
             let env = (m as f64).powf(0.75) * (n as f64).powf(0.25);
             let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
-            let outs =
-                replicate_outcomes(&Threshold, &cfg, &ReplicateSpec::new(reps, args.seed));
+            let outs = replicate_outcomes(&Threshold, &cfg, &ReplicateSpec::new(reps, args.seed));
             let mut excess = Welford::new();
             let mut norm = Welford::new();
             for o in &outs {

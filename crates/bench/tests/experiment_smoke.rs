@@ -52,7 +52,11 @@ fn col(header: &[String], rows: &[Vec<String>], name: &str) -> Vec<f64> {
         .position(|h| h == name)
         .unwrap_or_else(|| panic!("missing column {name} in {header:?}"));
     rows.iter()
-        .map(|r| r[idx].parse::<f64>().unwrap_or_else(|_| panic!("bad cell {}", r[idx])))
+        .map(|r| {
+            r[idx]
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad cell {}", r[idx]))
+        })
         .collect()
 }
 
@@ -149,7 +153,10 @@ fn lemma42_separation() {
     let t_psi = col(&h, &rows, "thr_psi/n^1.125");
     let a_psi = col(&h, &rows, "ada_psi/n");
     for &v in &t_psi {
-        assert!(v > 0.5, "threshold psi/n^(9/8) {v} should be bounded away from 0");
+        assert!(
+            v > 0.5,
+            "threshold psi/n^(9/8) {v} should be bounded away from 0"
+        );
     }
     for &v in &a_psi {
         assert!(v < 20.0, "adaptive psi/n {v} should stay O(1)");
@@ -182,7 +189,10 @@ fn parallel_rounds_caps() {
 
 #[test]
 fn cuckoo_threshold_explosion() {
-    let out = run(env!("CARGO_BIN_EXE_cuckoo_thresholds"), &["--quick", "--csv"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_cuckoo_thresholds"),
+        &["--quick", "--csv"],
+    );
     let (h, rows) = parse_csv(&out);
     let kicks = col(&h, &rows, "avg_kicks");
     assert!(!kicks.is_empty());
@@ -190,7 +200,10 @@ fn cuckoo_threshold_explosion() {
     // overall).
     let first = kicks.first().unwrap();
     let max = kicks.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max > 10.0 * (first + 0.01), "no explosion: first {first}, max {max}");
+    assert!(
+        max > 10.0 * (first + 0.01),
+        "no explosion: first {first}, max {max}"
+    );
 }
 
 #[test]

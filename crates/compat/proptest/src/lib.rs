@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the subset of proptest that its property tests use:
+//!
+//! * the [`proptest!`] macro (named-argument `ident in strategy` form),
+//! * range strategies (`0u64..100`, `0.0f64..=1.0`, …) and
+//!   [`arbitrary::any`],
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs verbatim), and the case count defaults to 64 (override with
+//! the `PROPTEST_CASES` environment variable). Cases are generated from
+//! a seed derived deterministically from the test name, so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i32 => u32, i64 => u64, isize => usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let u = rng.unit_f64(); // in [0, 1)
+            let v = self.start + u * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            // 53-bit draw mapped onto [0, 1] inclusive.
+            let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            lo + u * (hi - lo)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` strategy for types with a canonical full-domain
+    //! distribution.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Draws a uniformly distributed value of the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `A`: `any::<u64>()`, `any::<bool>()`, …
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections with a size drawn from a range.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<E>` with length drawn from `size`.
+    pub struct VecStrategy<E> {
+        element: E,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: a vector whose length is uniform in
+    /// `len_range` and whose elements are drawn from `element`.
+    pub fn vec<E: Strategy>(element: E, size: Range<usize>) -> VecStrategy<E> {
+        VecStrategy { element, size }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<E>` with cardinality drawn from `size`.
+    pub struct BTreeSetStrategy<E> {
+        element: E,
+        size: Range<usize>,
+    }
+
+    /// `btree_set(element, size_range)`: a set whose cardinality is
+    /// uniform in `size_range` (best-effort when the element domain is
+    /// nearly exhausted) and whose members are drawn from `element`.
+    pub fn btree_set<E>(element: E, size: Range<usize>) -> BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<E> Strategy for BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicate draws are discarded; the attempt cap keeps tiny
+            // element domains from looping forever.
+            let mut attempts = 0usize;
+            let max_attempts = 20 * target + 64;
+            while out.len() < target && attempts < max_attempts {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop and its deterministic RNG.
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// `prop_assert!`/`prop_assert_eq!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// SplitMix64 — self-contained so this dev-dependency shim does not
+    /// depend on the crates it is used to test.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)` by widening multiply with rejection.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            let mut x = self.next_u64();
+            let mut m = (x as u128) * (n as u128);
+            let mut low = m as u64;
+            if low < n {
+                let t = n.wrapping_neg() % n;
+                while low < t {
+                    x = self.next_u64();
+                    m = (x as u128) * (n as u128);
+                    low = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// FNV-1a, used to give every test its own deterministic seed.
+    fn hash_name(name: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs `body` for [`case_count`] accepted cases. `body` samples its
+    /// own inputs from the provided RNG and returns a debug rendering of
+    /// them alongside the case verdict.
+    pub fn run<F>(test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let cases = case_count();
+        let base = hash_name(test_name);
+        let mut rejects = 0u64;
+        let max_rejects = 1024 * cases as u64;
+        let mut case = 0u32;
+        let mut stream = 0u64;
+        while case < cases {
+            let mut rng = TestRng::new(base ^ stream.wrapping_mul(0x9e3779b97f4a7c15));
+            stream += 1;
+            let (inputs, verdict) = body(&mut rng);
+            match verdict {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest '{test_name}': too many prop_assume! rejections \
+                             ({rejects}) — strategy and assumption are incompatible"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{test_name}' failed at case {case} (stream {})\n  \
+                         inputs: {inputs}\n  {msg}",
+                        stream - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespace alias matching upstream (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each function body runs once per generated
+/// case; arguments are drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |prop_rng__| {
+                    $(
+                        #[allow(unused_mut)]
+                        let mut $arg = $crate::strategy::Strategy::sample(&($strat), prop_rng__);
+                    )+
+                    let inputs__ = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let verdict__ = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (inputs__, verdict__)
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.25f64..0.75, z in 0u32..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!(z <= 5);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..100, 2..9),
+            s in prop::collection::btree_set(0u64..1_000, 1..6),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!((1..6).contains(&s.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn assume_filters(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run("always_fails", |rng| {
+                let x = rng.below(10);
+                (
+                    format!("x = {x:?}; "),
+                    Err(crate::test_runner::TestCaseError::Fail("boom".into())),
+                )
+            });
+        });
+        let err = result.expect_err("runner must propagate failure");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("always_fails") && msg.contains("x = "),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::test_runner::run("det", |rng| {
+                out.push(rng.next_u64());
+                (String::new(), Ok(()))
+            });
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the subset of the `rand 0.8` API that the cross-validation
+//! tests in `bib-rng` consume: [`rngs::StdRng`], [`SeedableRng`], and
+//! the [`Rng`] methods `gen_range` / `gen_bool`.
+//!
+//! To keep the cross-validation *meaningful*, `StdRng` is a from-scratch
+//! ChaCha12 implementation (the same algorithm family real `rand 0.8`
+//! uses for `StdRng`) — a completely different design from the
+//! xoshiro/PCG/SplitMix generators under test in `bib-rng`, so
+//! distributional agreement between the two stacks is evidence of
+//! correctness, not shared code. Exact stream compatibility with
+//! upstream `rand` is *not* provided (the tests only compare
+//! distributions, never streams).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Seeding support, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, as upstream does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 output function (Steele, Lea & Flood 2014).
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Core random-number interface, mirroring the used subset of
+/// `rand::Rng` / `rand::RngCore`.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform sample from `[range.start, range.end)` without modulo
+    /// bias (Lemire's multiply-shift rejection method).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let t = span.wrapping_neg() % span;
+            while low < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        range.start + (m >> 64) as u64
+    }
+
+    /// Bernoulli trial returning `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators; only [`StdRng`] is provided.
+
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: ChaCha12, implemented from RFC 8439's
+    /// description of the ChaCha round function with 12 rounds and a
+    /// 64-bit block counter.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha state template: constants, 256-bit key, counter, nonce.
+        state: [u32; 16],
+        /// Current keystream block.
+        block: [u32; 16],
+        /// Next unread word in `block`; 16 means "exhausted".
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut x = self.state;
+            for _ in 0..6 {
+                // Two rounds per loop iteration: one column, one diagonal.
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            for (b, (&xi, &si)) in self.block.iter_mut().zip(x.iter().zip(&self.state)) {
+                *b = xi.wrapping_add(si);
+            }
+            // 64-bit counter in words 12..14.
+            let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+            self.state[12] = counter as u32;
+            self.state[13] = (counter >> 32) as u32;
+            self.index = 0;
+        }
+    }
+
+    #[inline]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut state = [0u32; 16];
+            // "expand 32-byte k"
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for i in 0..8 {
+                state[4 + i] =
+                    u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+            }
+            // Counter and nonce start at zero.
+            StdRng {
+                state,
+                block: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let w = self.block[self.index];
+            self.index += 1;
+            w
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn deterministic_and_seed_sensitive() {
+            let mut a = StdRng::seed_from_u64(1);
+            let mut b = StdRng::seed_from_u64(1);
+            let mut c = StdRng::seed_from_u64(2);
+            let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+            let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+            let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+            assert_eq!(va, vb);
+            assert_ne!(va, vc);
+        }
+
+        #[test]
+        fn chacha_rfc8439_block() {
+            // RFC 8439 §2.3.2 test vector, adapted: run the permutation
+            // with the RFC key/nonce/counter but 12 rounds is not covered
+            // by the RFC, so instead verify the 20-round keystream by
+            // temporarily doing 10 double-rounds here.
+            let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for i in 0..8 {
+                state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+            }
+            state[12] = 1;
+            state[13] = 0x0900_0000;
+            state[14] = 0x4a00_0000;
+            state[15] = 0x0000_0000;
+            let mut x = state;
+            for _ in 0..10 {
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            let out: Vec<u32> = x
+                .iter()
+                .zip(&state)
+                .map(|(a, s)| a.wrapping_add(*s))
+                .collect();
+            // First words of the RFC 8439 §2.3.2 expected block.
+            assert_eq!(out[0], 0xe4e7_f110);
+            assert_eq!(out[1], 0x1559_3bd1);
+            assert_eq!(out[2], 0x1fdd_0f50);
+            assert_eq!(out[3], 0xc471_20a3);
+        }
+
+        #[test]
+        fn gen_range_bounds() {
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..10_000 {
+                let v = rng.gen_range(10..47);
+                assert!((10..47).contains(&v));
+            }
+        }
+
+        #[test]
+        fn gen_bool_rate() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+            assert!((23_000..27_000).contains(&hits), "got {hits}");
+        }
+    }
+}

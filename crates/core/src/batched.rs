@@ -57,12 +57,7 @@ impl Protocol for BatchedAdaptive {
         format!("adaptive/batch={}", self.batch)
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         assert!(
             self.batch <= cfg.n as u64,
             "feasibility requires batch size ({}) ≤ n ({})",

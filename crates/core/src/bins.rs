@@ -109,10 +109,7 @@ impl LoadVector {
     /// `Σᵢ max(h − Lᵢ, 0)`. With `h = ⌈m/n⌉ + 1` this is the quantity
     /// `W_t` driving the proof of Theorem 4.1.
     pub fn holes(&self, h: u32) -> u64 {
-        self.loads
-            .iter()
-            .map(|&l| h.saturating_sub(l) as u64)
-            .sum()
+        self.loads.iter().map(|&l| h.saturating_sub(l) as u64).sum()
     }
 }
 

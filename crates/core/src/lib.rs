@@ -62,15 +62,13 @@ pub mod weighted;
 pub mod prelude {
     pub use crate::batched::BatchedAdaptive;
     pub use crate::bins::LoadVector;
-    pub use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
     pub use crate::partitioned::PartitionedBins;
     pub use crate::potential::{exponential_potential, gap, quadratic_potential};
-    pub use crate::protocol::{
-        Engine, NullObserver, Observer, Outcome, Protocol, RunConfig,
-    };
+    pub use crate::protocol::{Engine, NullObserver, Observer, Outcome, Protocol, RunConfig};
     pub use crate::protocols::{
-        Adaptive, GreedyD, LeftD, Memory, OneChoice, OnePlusBeta, Threshold,
-        ThresholdSlack, TieBreak,
+        Adaptive, GreedyD, LeftD, Memory, OneChoice, OnePlusBeta, Threshold, ThresholdSlack,
+        TieBreak,
     };
     pub use crate::run::{run_protocol, run_replicates};
+    pub use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
 }

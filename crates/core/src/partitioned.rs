@@ -187,8 +187,7 @@ impl PartitionedBins {
         // order is sorted by load and boundaries delimit the groups.
         for idx in 1..n {
             assert!(
-                self.loads[self.order[idx - 1] as usize]
-                    <= self.loads[self.order[idx] as usize]
+                self.loads[self.order[idx - 1] as usize] <= self.loads[self.order[idx] as usize]
             );
         }
         for (l, w) in self.boundary.windows(2).enumerate() {
@@ -284,7 +283,11 @@ mod tests {
         }
         assert_eq!(counts[0], 0);
         for b in 1..4 {
-            assert!((9_000..11_000).contains(&counts[b]), "bin {b}: {}", counts[b]);
+            assert!(
+                (9_000..11_000).contains(&counts[b]),
+                "bin {b}: {}",
+                counts[b]
+            );
         }
     }
 

@@ -49,10 +49,7 @@ pub fn poisson_access_model<R: Rng64 + ?Sized>(n: usize, t: u64, rng: &mut R) ->
 /// `= Σ_i max(h − access_i, 0)`.
 pub fn holes_at(access: &[u32], phi: u64) -> u64 {
     let h = phi + 1;
-    access
-        .iter()
-        .map(|&x| h.saturating_sub(x as u64))
-        .sum()
+    access.iter().map(|&x| h.saturating_sub(x as u64)).sum()
 }
 
 /// The proof's stopping time: `T = α·n` with `α = ϕ + ϕ^{3/4} + 1`.
@@ -65,11 +62,7 @@ pub fn theorem41_alpha(phi: u64) -> f64 {
 /// threshold protocol with `m = ϕn` has certainly finished under the
 /// holes criterion, estimated by simulation of the *exact* process.
 /// Returns `(t, W_t)` at the first multiple of `n/4` where `W_t ≤ n`.
-pub fn simulate_until_filled<R: Rng64 + ?Sized>(
-    n: usize,
-    phi: u64,
-    rng: &mut R,
-) -> (u64, u64) {
+pub fn simulate_until_filled<R: Rng64 + ?Sized>(n: usize, phi: u64, rng: &mut R) -> (u64, u64) {
     let mut access = vec![0u32; n];
     let mut t = 0u64;
     let step = (n as u64 / 4).max(1);

@@ -53,7 +53,10 @@ pub fn exponential_potential(loads: &[u32], t: u64, eps: f64) -> f64 {
 /// log-sum-exp trick so deep holes (the `threshold` regime of Lemma 4.2,
 /// where Φ is `2^{Ω(n^{1/8})}`) do not overflow.
 pub fn ln_exponential_potential(loads: &[u32], t: u64, eps: f64) -> f64 {
-    assert!(!loads.is_empty(), "exponential_potential: empty load vector");
+    assert!(
+        !loads.is_empty(),
+        "exponential_potential: empty load vector"
+    );
     assert!(eps > 0.0, "exponential_potential: ε must be positive");
     let avg = t as f64 / loads.len() as f64;
     let ln_base = (1.0 + eps).ln();

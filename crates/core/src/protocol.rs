@@ -12,14 +12,14 @@ use bib_rng::Rng64;
 ///
 /// Both engines produce *identically distributed* `(bin, sample-count)`
 /// pairs; see [`crate::sampler`] for the argument and the test suite for
-/// the statistical evidence. `Naive` is the paper's literal process;
+/// the statistical evidence. `Faithful` is the paper's literal process;
 /// `Jump` collapses each retry run into one geometric draw so that
 /// heavily loaded regimes (`m = n²`, Lemma 4.2) stay tractable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Faithful sample-by-sample retry loop.
     #[default]
-    Naive,
+    Faithful,
     /// Geometric-jump equivalent: draw the number of wasted samples in
     /// one shot, then pick an accepting bin uniformly.
     Jump,
@@ -38,13 +38,13 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// Creates a configuration with the default (naive) engine.
+    /// Creates a configuration with the default (faithful) engine.
     pub fn new(n: usize, m: u64) -> Self {
         assert!(n > 0, "RunConfig: need at least one bin");
         Self {
             n,
             m,
-            engine: Engine::Naive,
+            engine: Engine::Faithful,
         }
     }
 
@@ -110,7 +110,8 @@ impl Observer for StageTrace {
         let t = bins.total();
         self.stages.push(tau);
         self.psi.push(quadratic_potential(loads, t));
-        self.ln_phi.push(ln_exponential_potential(loads, t, EPSILON));
+        self.ln_phi
+            .push(ln_exponential_potential(loads, t, EPSILON));
         self.gaps.push(gap(loads));
     }
 }
@@ -235,12 +236,7 @@ pub trait Protocol {
     fn name(&self) -> String;
 
     /// Runs the full allocation, reporting per-ball events to `obs`.
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome;
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome;
 }
 
 /// Drives the common per-ball loop shared by all sequential protocols:
@@ -266,7 +262,11 @@ where
     for ball in 1..=cfg.m {
         let before = bins.total();
         let (bin, samples) = place_one(&mut bins, ball, rng);
-        debug_assert_eq!(bins.total(), before + 1, "place_one must place exactly one ball");
+        debug_assert_eq!(
+            bins.total(),
+            before + 1,
+            "place_one must place exactly one ball"
+        );
         total_samples += samples;
         max_samples = max_samples.max(samples);
         obs.on_ball(ball, bin, samples);

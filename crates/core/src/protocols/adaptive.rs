@@ -80,12 +80,7 @@ impl Protocol for Adaptive {
         }
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let engine = cfg.engine;
         let this = *self;
         let n = cfg.n;
@@ -130,7 +125,7 @@ mod tests {
     #[test]
     fn max_load_bound_holds_always() {
         for seed in 0..5u64 {
-            for engine in [Engine::Naive, Engine::Jump] {
+            for engine in [Engine::Faithful, Engine::Jump] {
                 let cfg = RunConfig::new(16, 103).with_engine(engine);
                 let mut rng = SplitMix64::new(seed);
                 let out = Adaptive::paper().allocate(&cfg, &mut rng, &mut NullObserver);

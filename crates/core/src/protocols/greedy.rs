@@ -59,12 +59,7 @@ impl Protocol for GreedyD {
         }
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let d = self.d;
         let tie = self.tie;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {

@@ -42,12 +42,7 @@ impl Protocol for LeftD {
         format!("left[{}]", self.d)
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         assert!(
             cfg.n >= self.d as usize,
             "left[{}] needs at least {} bins, got {}",

@@ -47,12 +47,7 @@ impl Protocol for Memory {
         format!("memory({},{})", self.d, self.k)
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let d = self.d as usize;
         let k = self.k as usize;
         // The memory cache persists across balls.

@@ -19,12 +19,7 @@ impl Protocol for OneChoice {
         "one-choice".into()
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         drive_sequential(self.name(), cfg, rng, obs, |bins, _ball, rng| {
             let b = rng.range_usize(bins.n());
             bins.place(b);
@@ -72,8 +67,12 @@ mod tests {
         let light = RunConfig::new(n, n as u64);
         let heavy = RunConfig::new(n, (n as u64) * 256);
         let mut rng = SplitMix64::new(3);
-        let g_light = OneChoice.allocate(&light, &mut rng, &mut NullObserver).gap();
-        let g_heavy = OneChoice.allocate(&heavy, &mut rng, &mut NullObserver).gap();
+        let g_light = OneChoice
+            .allocate(&light, &mut rng, &mut NullObserver)
+            .gap();
+        let g_heavy = OneChoice
+            .allocate(&heavy, &mut rng, &mut NullObserver)
+            .gap();
         assert!(
             g_heavy > g_light,
             "heavy gap {g_heavy} should exceed light gap {g_light}"

@@ -40,12 +40,7 @@ impl Protocol for OnePlusBeta {
         format!("one+beta({})", self.beta)
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let beta = self.beta;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
             let n = bins.n();
@@ -89,7 +84,8 @@ mod tests {
         out.validate();
         let expected = 1.25 * 20_000.0;
         assert!(
-            (out.total_samples as f64 - expected).abs() < 4.0 * (20_000.0f64 * 0.25).sqrt().max(1.0) * 1.0 + 200.0,
+            (out.total_samples as f64 - expected).abs()
+                < 4.0 * (20_000.0f64 * 0.25).sqrt().max(1.0) * 1.0 + 200.0,
             "samples {} vs expected {expected}",
             out.total_samples
         );
@@ -109,10 +105,16 @@ mod tests {
         let p = OnePlusBeta::new(0.5);
         let g_small = gap_at(&p, 32 * n as u64);
         let g_big = gap_at(&p, 512 * n as u64);
-        assert!(g_big < 1.6 * g_small, "(1+b) gap grew: {g_small} -> {g_big}");
+        assert!(
+            g_big < 1.6 * g_small,
+            "(1+b) gap grew: {g_small} -> {g_big}"
+        );
         let o_small = gap_at(&OneChoice, 32 * n as u64);
         let o_big = gap_at(&OneChoice, 512 * n as u64);
-        assert!(o_big > 2.0 * o_small, "one-choice gap flat?! {o_small} -> {o_big}");
+        assert!(
+            o_big > 2.0 * o_small,
+            "one-choice gap flat?! {o_small} -> {o_big}"
+        );
     }
 
     #[test]
@@ -138,7 +140,10 @@ mod tests {
         };
         let tight = gap_mean(0.9);
         let loose = gap_mean(0.1);
-        assert!(loose > tight, "β=0.1 gap {loose} should exceed β=0.9 gap {tight}");
+        assert!(
+            loose > tight,
+            "β=0.1 gap {loose} should exceed β=0.9 gap {tight}"
+        );
     }
 
     #[test]

@@ -43,12 +43,7 @@ impl Protocol for Threshold {
         "threshold".into()
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let t = Self::acceptance_bound(cfg.n, cfg.m);
         let engine = cfg.engine;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
@@ -91,12 +86,7 @@ impl Protocol for ThresholdSlack {
         format!("threshold(+{})", self.slack)
     }
 
-    fn allocate(
-        &self,
-        cfg: &RunConfig,
-        rng: &mut dyn Rng64,
-        obs: &mut dyn Observer,
-    ) -> Outcome {
+    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
         let t = self.acceptance_bound(cfg.n, cfg.m);
         let engine = cfg.engine;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
@@ -126,7 +116,7 @@ mod tests {
     #[test]
     fn max_load_bound_holds_always() {
         for seed in 0..5u64 {
-            for engine in [Engine::Naive, Engine::Jump] {
+            for engine in [Engine::Faithful, Engine::Jump] {
                 let cfg = RunConfig::new(16, 100).with_engine(engine);
                 let mut rng = SplitMix64::new(seed);
                 let out = Threshold.allocate(&cfg, &mut rng, &mut NullObserver);

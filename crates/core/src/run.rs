@@ -19,9 +19,7 @@ pub fn run_with_observer(
     seed: u64,
     obs: &mut dyn Observer,
 ) -> Outcome {
-    let mut rng = SeedSequence::new(seed)
-        .child_str(&protocol.name())
-        .rng();
+    let mut rng = SeedSequence::new(seed).child_str(&protocol.name()).rng();
     let out = protocol.allocate(cfg, &mut rng, obs);
     out.validate();
     out

@@ -34,17 +34,13 @@ pub fn place_below(
     rng: &mut dyn Rng64,
 ) -> (usize, u64) {
     match engine {
-        Engine::Naive => place_below_naive(bins, t, rng),
+        Engine::Faithful => place_below_naive(bins, t, rng),
         Engine::Jump => place_below_jump(bins, t, rng),
     }
 }
 
 /// Faithful retry loop (Figures 1 and 2 of the paper).
-pub fn place_below_naive(
-    bins: &mut PartitionedBins,
-    t: u32,
-    rng: &mut dyn Rng64,
-) -> (usize, u64) {
+pub fn place_below_naive(bins: &mut PartitionedBins, t: u32, rng: &mut dyn Rng64) -> (usize, u64) {
     assert!(
         bins.count_below(t) > 0,
         "place_below: no bin has load < {t}; the protocol threshold is wrong"
@@ -63,11 +59,7 @@ pub fn place_below_naive(
 
 /// Geometric-jump equivalent: one `Geometric(k/n)` draw for the sample
 /// count, one uniform pick among accepting bins.
-pub fn place_below_jump(
-    bins: &mut PartitionedBins,
-    t: u32,
-    rng: &mut dyn Rng64,
-) -> (usize, u64) {
+pub fn place_below_jump(bins: &mut PartitionedBins, t: u32, rng: &mut dyn Rng64) -> (usize, u64) {
     let k = bins.count_below(t);
     assert!(
         k > 0,
@@ -91,7 +83,7 @@ mod tests {
 
     #[test]
     fn all_bins_open_costs_one_sample() {
-        for engine in [Engine::Naive, Engine::Jump] {
+        for engine in [Engine::Faithful, Engine::Jump] {
             let mut bins = PartitionedBins::new(10);
             let mut rng = SplitMix64::new(1);
             let (bin, samples) = place_below(&mut bins, 1, engine, &mut rng);
@@ -103,7 +95,7 @@ mod tests {
 
     #[test]
     fn single_open_bin_is_always_found() {
-        for engine in [Engine::Naive, Engine::Jump] {
+        for engine in [Engine::Faithful, Engine::Jump] {
             // Bins 0..9 at load 1, bin 9 empty; threshold 1 ⇒ only bin 9.
             let mut loads = vec![1u32; 10];
             loads[9] = 0;
@@ -141,7 +133,7 @@ mod tests {
         let open = 2usize; // bins 6, 7 open at threshold 1
         let template: Vec<u32> = (0..n).map(|i| if i < n - open { 1 } else { 0 }).collect();
         let reps = 40_000;
-        for engine in [Engine::Naive, Engine::Jump] {
+        for engine in [Engine::Faithful, Engine::Jump] {
             let mut rng = SplitMix64::new(50 + engine as u64);
             let mut total_samples = 0u64;
             let mut bin_counts = vec![0u64; n];
@@ -200,7 +192,7 @@ mod tests {
         let template = vec![1u32, 1, 1, 0]; // n = 4, k = 1 open
         let reps = 30_000;
         let mut hists = Vec::new();
-        for engine in [Engine::Naive, Engine::Jump] {
+        for engine in [Engine::Faithful, Engine::Jump] {
             let mut rng = SplitMix64::new(60 + engine as u64);
             let mut hist = vec![0u64; 12];
             for _ in 0..reps {

@@ -55,7 +55,10 @@ impl WeightedOutcome {
 
     /// The largest per-bin overload.
     pub fn max_overload(&self) -> f64 {
-        self.overloads().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.overloads()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Allocation time per ball.
@@ -75,10 +78,7 @@ impl WeightedOutcome {
     /// Asserts mass conservation.
     pub fn validate(&self) {
         assert_eq!(self.loads.len(), self.weights.len());
-        assert_eq!(
-            self.loads.iter().map(|&l| l as u64).sum::<u64>(),
-            self.m
-        );
+        assert_eq!(self.loads.iter().map(|&l| l as u64).sum::<u64>(), self.m);
     }
 }
 

@@ -122,7 +122,7 @@ proptest! {
         seed in 0u64..1000,
         jump in any::<bool>(),
     ) {
-        let engine = if jump { Engine::Jump } else { Engine::Naive };
+        let engine = if jump { Engine::Jump } else { Engine::Faithful };
         let cfg = RunConfig::new(n, m).with_engine(engine);
         for proto in [
             Box::new(Adaptive::paper()) as Box<dyn Protocol>,

@@ -92,7 +92,9 @@ where
     F: Fn(usize) -> T + Sync,
     G: FnMut(A, T) -> A,
 {
-    par_map(count, threads, f).into_iter().fold(init, fold_adapter(&mut fold))
+    par_map(count, threads, f)
+        .into_iter()
+        .fold(init, fold_adapter(&mut fold))
 }
 
 fn fold_adapter<A, T>(g: &mut impl FnMut(A, T) -> A) -> impl FnMut(A, T) -> A + '_ {

@@ -150,7 +150,12 @@ mod tests {
         let small = BoundedLoad::new(2).run(1 << 8, 1 << 8, &mut rng);
         let big = BoundedLoad::new(2).run(1 << 16, 1 << 16, &mut rng);
         assert!(small.rounds <= 12, "small rounds {}", small.rounds);
-        assert!(big.rounds <= small.rounds + 4, "{} vs {}", big.rounds, small.rounds);
+        assert!(
+            big.rounds <= small.rounds + 4,
+            "{} vs {}",
+            big.rounds,
+            small.rounds
+        );
     }
 
     #[test]

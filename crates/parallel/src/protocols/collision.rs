@@ -137,7 +137,12 @@ mod tests {
         let mut r2 = SplitMix64::new(7);
         let tight = Collision::new(1).run(1 << 14, 1 << 14, &mut r1);
         let loose = Collision::new(4).run(1 << 14, 1 << 14, &mut r2);
-        assert!(loose.rounds <= tight.rounds, "{} vs {}", loose.rounds, tight.rounds);
+        assert!(
+            loose.rounds <= tight.rounds,
+            "{} vs {}",
+            loose.rounds,
+            tight.rounds
+        );
     }
 
     #[test]

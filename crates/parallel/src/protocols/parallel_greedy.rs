@@ -37,7 +37,10 @@ impl ParallelGreedy {
     pub fn new(d: u32, rounds: u32, per_round: u32) -> Self {
         assert!(d >= 1, "need at least one candidate");
         assert!(rounds >= 1, "need at least one round");
-        assert!(per_round >= 1, "bins must admit at least one ball per round");
+        assert!(
+            per_round >= 1,
+            "bins must admit at least one ball per round"
+        );
         Self {
             d,
             rounds,
@@ -167,12 +170,13 @@ mod tests {
         let n = 1 << 14;
         let maxload = |rounds: u32, seed: u64| -> u32 {
             let mut rng = SplitMix64::new(seed);
-            ParallelGreedy::new(2, rounds, 1).run(n, n as u64, &mut rng).max_load()
+            ParallelGreedy::new(2, rounds, 1)
+                .run(n, n as u64, &mut rng)
+                .max_load()
         };
         // Average over a few seeds to damp noise.
-        let avg = |rounds: u32| -> f64 {
-            (0..5).map(|s| maxload(rounds, s) as f64).sum::<f64>() / 5.0
-        };
+        let avg =
+            |rounds: u32| -> f64 { (0..5).map(|s| maxload(rounds, s) as f64).sum::<f64>() / 5.0 };
         let r1 = avg(1);
         let r3 = avg(3);
         let r6 = avg(6);

@@ -74,10 +74,7 @@ impl CrsOutcome {
     /// Asserts mass conservation.
     pub fn validate(&self) {
         assert_eq!(self.loads.len(), self.n);
-        assert_eq!(
-            self.loads.iter().map(|&l| l as u64).sum::<u64>(),
-            self.m
-        );
+        assert_eq!(self.loads.iter().map(|&l| l as u64).sum::<u64>(), self.m);
     }
 }
 

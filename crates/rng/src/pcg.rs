@@ -83,7 +83,9 @@ mod tests {
     fn streams_are_distinct() {
         let mut a = Pcg32::new(1, 0);
         let mut b = Pcg32::new(1, 1);
-        let same = (0..256).filter(|_| a.next_u32_native() == b.next_u32_native()).count();
+        let same = (0..256)
+            .filter(|_| a.next_u32_native() == b.next_u32_native())
+            .count();
         assert!(same <= 1, "streams nearly identical: {same} collisions");
     }
 

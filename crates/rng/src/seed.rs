@@ -118,10 +118,7 @@ mod tests {
     fn children_are_reproducible() {
         let root = SeedSequence::new(7);
         assert_eq!(root.child(5).seed(), root.child(5).seed());
-        assert_eq!(
-            root.child(5).child(9).seed(),
-            root.child(5).child(9).seed()
-        );
+        assert_eq!(root.child(5).child(9).seed(), root.child(5).child(9).seed());
     }
 
     #[test]
@@ -143,10 +140,7 @@ mod tests {
     #[test]
     fn path_order_matters() {
         let root = SeedSequence::new(11);
-        assert_ne!(
-            root.child(1).child(2).seed(),
-            root.child(2).child(1).seed()
-        );
+        assert_ne!(root.child(1).child(2).seed(), root.child(2).child(1).seed());
     }
 
     #[test]

@@ -185,10 +185,7 @@ mod tests {
         // s3 = rotl(6, 45)
         let mut g = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
         g.next_u64();
-        assert_eq!(
-            g.state_words(),
-            [7, 0, 262146, 6u64.rotate_left(45)]
-        );
+        assert_eq!(g.state_words(), [7, 0, 262146, 6u64.rotate_left(45)]);
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn range_sampler_agrees_with_rand() {
     }
     // Each histogram must individually pass uniformity.
     assert!(chi_square_uniform(&h_ours).p_value > 1e-4, "ours biased");
-    assert!(chi_square_uniform(&h_theirs).p_value > 1e-4, "rand biased?!");
+    assert!(
+        chi_square_uniform(&h_theirs).p_value > 1e-4,
+        "rand biased?!"
+    );
     // And their difference must be noise: per-cell |a−b| ≤ 6σ.
     for (i, (&a, &b)) in h_ours.iter().zip(&h_theirs).enumerate() {
         let diff = (a as f64 - b as f64).abs();
@@ -47,7 +50,10 @@ fn bernoulli_agrees_with_rand() {
         let a = (0..SAMPLES).filter(|_| ours.bernoulli(p)).count() as f64;
         let b = (0..SAMPLES).filter(|_| theirs.gen_bool(p)).count() as f64;
         let sigma = (SAMPLES as f64 * p * (1.0 - p)).sqrt();
-        assert!((a - SAMPLES as f64 * p).abs() < 5.0 * sigma, "ours off at p={p}");
+        assert!(
+            (a - SAMPLES as f64 * p).abs() < 5.0 * sigma,
+            "ours off at p={p}"
+        );
         assert!((a - b).abs() < 7.0 * sigma, "disagreement at p={p}");
     }
 }
@@ -70,7 +76,10 @@ fn f64_moments() {
 /// rates the paper uses (1/2, 100/198, 199/198) plus a large rate.
 #[test]
 fn poisson_gof_at_paper_rates() {
-    for (i, &lam) in [0.5f64, 100.0 / 198.0, 199.0 / 198.0, 64.0].iter().enumerate() {
+    for (i, &lam) in [0.5f64, 100.0 / 198.0, 199.0 / 198.0, 64.0]
+        .iter()
+        .enumerate()
+    {
         let d = PoissonSampler::new(lam);
         let exact = ExactPoisson::new(lam);
         let hi = exact.quantile(1.0 - 1e-7) + 3;
@@ -88,7 +97,12 @@ fn poisson_gof_at_paper_rates() {
         }
         let probs: Vec<f64> = (0..=hi).map(|k| exact.pmf(k)).collect();
         let r = chi_square_gof(&obs, &probs, overflow, 5.0);
-        assert!(r.p_value > 1e-4, "λ={lam}: χ²={} p={}", r.statistic, r.p_value);
+        assert!(
+            r.p_value > 1e-4,
+            "λ={lam}: χ²={} p={}",
+            r.statistic,
+            r.p_value
+        );
     }
 }
 
@@ -151,19 +165,34 @@ fn ks_tests_for_continuous_samplers() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(31);
     let u: Vec<f64> = (0..N).map(|_| rng.next_f64()).collect();
     let r = ks_test(&u, |x| x.clamp(0.0, 1.0));
-    assert!(r.p_value > 1e-4, "uniform: D={} p={}", r.statistic, r.p_value);
+    assert!(
+        r.p_value > 1e-4,
+        "uniform: D={} p={}",
+        r.statistic,
+        r.p_value
+    );
 
     // Exponential(1.7).
     let d = Exponential::new(1.7);
     let e: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
     let r = ks_test(&e, |x| (1.0 - (-1.7 * x).exp()).clamp(0.0, 1.0));
-    assert!(r.p_value > 1e-4, "exponential: D={} p={}", r.statistic, r.p_value);
+    assert!(
+        r.p_value > 1e-4,
+        "exponential: D={} p={}",
+        r.statistic,
+        r.p_value
+    );
 
     // Normal(−2, 3).
     let d = Normal::new(-2.0, 3.0);
     let g: Vec<f64> = (0..N).map(|_| d.sample(&mut rng)).collect();
     let r = ks_test(&g, |x| normal_cdf((x + 2.0) / 3.0));
-    assert!(r.p_value > 1e-4, "normal: D={} p={}", r.statistic, r.p_value);
+    assert!(
+        r.p_value > 1e-4,
+        "normal: D={} p={}",
+        r.statistic,
+        r.p_value
+    );
 }
 
 /// All three generator families pass KS uniformity on next_f64 — the
@@ -182,7 +211,12 @@ fn ks_uniformity_across_generator_families() {
         ("pcg32", collect(Box::new(move || c.next_f64()))),
     ] {
         let r = ks_test(&data, |x| x.clamp(0.0, 1.0));
-        assert!(r.p_value > 1e-4, "{name}: D={} p={}", r.statistic, r.p_value);
+        assert!(
+            r.p_value > 1e-4,
+            "{name}: D={} p={}",
+            r.statistic,
+            r.p_value
+        );
     }
 }
 
@@ -191,9 +225,8 @@ fn ks_uniformity_across_generator_families() {
 #[test]
 fn generator_families_agree_on_moments() {
     let n = 100_000;
-    let mean_of = |mut f: Box<dyn FnMut() -> f64>| -> f64 {
-        (0..n).map(|_| f()).sum::<f64>() / n as f64
-    };
+    let mean_of =
+        |mut f: Box<dyn FnMut() -> f64>| -> f64 { (0..n).map(|_| f()).sum::<f64>() / n as f64 };
     let mut a = Xoshiro256PlusPlus::seed_from_u64(5);
     let mut b = bib_rng::Xoshiro256StarStar::seed_from_u64(6);
     let mut c = bib_rng::Pcg32::new(7, 3);

@@ -52,7 +52,10 @@ fn main() {
 
     // Per-class view.
     println!("per-class mean load vs fair share (weighted adaptive):");
-    println!("{:<10} {:>12} {:>12} {:>12}", "class", "fair share", "mean load", "worst");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "class", "fair share", "mean load", "worst"
+    );
     let classes: [(&str, std::ops::Range<usize>, f64); 3] = [
         ("big", 0..8, 8.0),
         ("medium", 8..32, 2.0),
@@ -62,8 +65,7 @@ fn main() {
         let fair = m as f64 * w / w_total;
         let lo = range.start;
         let hi = range.end;
-        let mean: f64 =
-            ada.loads[lo..hi].iter().map(|&l| l as f64).sum::<f64>() / (hi - lo) as f64;
+        let mean: f64 = ada.loads[lo..hi].iter().map(|&l| l as f64).sum::<f64>() / (hi - lo) as f64;
         let worst = ada.loads[lo..hi].iter().copied().max().unwrap();
         println!("{name:<10} {fair:>12.1} {mean:>12.1} {worst:>12}");
     }

@@ -68,6 +68,9 @@ fn main() {
     let _ = ada;
     println!("\n* provisioning waste when sizing all servers to the max load.");
     println!("adaptive keeps the gap (and hence provisioning waste) tiny at every");
-    println!("moment of the stream, for ~{:.2}x the dispatch probes of one-choice.", 1.0f64);
+    println!(
+        "moment of the stream, for ~{:.2}x the dispatch probes of one-choice.",
+        1.0f64
+    );
     println!("(Exact probe ratios are printed in the T/m column.)");
 }

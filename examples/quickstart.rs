@@ -14,7 +14,10 @@ fn main() {
     let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
     let seed = 2013; // SPAA'13
 
-    println!("n = {n} bins, m = {m} balls, max-load guarantee = ⌈m/n⌉+1 = {}", cfg.max_load_bound());
+    println!(
+        "n = {n} bins, m = {m} balls, max-load guarantee = ⌈m/n⌉+1 = {}",
+        cfg.max_load_bound()
+    );
     println!();
     println!(
         "{:<12} {:>12} {:>10} {:>9} {:>9} {:>12} {:>12}",

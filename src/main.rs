@@ -4,7 +4,7 @@
 //! balls-into-bins list
 //! balls-into-bins constants
 //! balls-into-bins run --protocol adaptive --n 10000 --m 1000000 \
-//!     [--seed 2013] [--engine jump|naive] [--reps 1] [--trace]
+//!     [--seed 2013] [--engine jump|faithful] [--reps 1] [--trace]
 //! ```
 //!
 //! `run` prints one summary line per replicate (CSV with a header), or a
@@ -31,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  balls-into-bins list\n  balls-into-bins constants\n  \
          balls-into-bins run --protocol <name> --n <bins> --m <balls>\n      \
-         [--seed <u64>] [--engine jump|naive] [--reps <count>] [--trace]\n\n\
+         [--seed <u64>] [--engine jump|faithful] [--reps <count>] [--trace]\n\n\
          protocols: {}",
         PROTOCOLS.join(", ")
     );
@@ -39,11 +39,10 @@ fn usage() -> ! {
 }
 
 fn parse_u64(v: Option<String>, flag: &str) -> u64 {
-    v.and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("error: {flag} needs an unsigned integer");
-            usage()
-        })
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs an unsigned integer");
+        usage()
+    })
 }
 
 fn main() {
@@ -75,7 +74,7 @@ fn main() {
                     "--trace" => trace = true,
                     "--engine" => match args.next().as_deref() {
                         Some("jump") => engine = Engine::Jump,
-                        Some("naive") => engine = Engine::Naive,
+                        Some("faithful") | Some("naive") => engine = Engine::Faithful,
                         other => {
                             eprintln!("error: unknown engine {other:?}");
                             usage()

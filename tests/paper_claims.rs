@@ -40,8 +40,11 @@ fn theorem41_threshold_excess_scaling() {
         assert!(ratio < prev_ratio + 0.02, "phi={phi}: ratio {ratio} rose");
         prev_ratio = ratio;
         let env = (m as f64).powf(0.75) * (n as f64).powf(0.25);
-        let norm =
-            outs.iter().map(|o| o.excess_samples() as f64 / env).sum::<f64>() / outs.len() as f64;
+        let norm = outs
+            .iter()
+            .map(|o| o.excess_samples() as f64 / env)
+            .sum::<f64>()
+            / outs.len() as f64;
         assert!(norm < 5.0, "phi={phi}: normalised excess {norm}");
     }
     assert!(prev_ratio < 1.1, "final ratio {prev_ratio} not near 1");
@@ -133,7 +136,13 @@ fn figure3b_shape_psi_flat_vs_growing() {
     let thr_small = psi_at(&Threshold, 20 * n as u64);
     let thr_big = psi_at(&Threshold, 200 * n as u64);
     // adaptive: no systematic growth (allow 2x noise).
-    assert!(ada_big < 2.0 * ada_small, "adaptive psi grew: {ada_small} -> {ada_big}");
+    assert!(
+        ada_big < 2.0 * ada_small,
+        "adaptive psi grew: {ada_small} -> {ada_big}"
+    );
     // threshold: clear growth.
-    assert!(thr_big > 2.0 * thr_small, "threshold psi flat: {thr_small} -> {thr_big}");
+    assert!(
+        thr_big > 2.0 * thr_small,
+        "threshold psi flat: {thr_small} -> {thr_big}"
+    );
 }

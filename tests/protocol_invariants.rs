@@ -34,7 +34,7 @@ fn mass_is_conserved_for_every_protocol_and_config() {
 fn paper_protocols_never_violate_max_load_bound() {
     // The defining property: max load ≤ ⌈m/n⌉ + 1 on EVERY run.
     for cfg in configs() {
-        for engine in [Engine::Naive, Engine::Jump] {
+        for engine in [Engine::Faithful, Engine::Jump] {
             let cfg = cfg.with_engine(engine);
             for seed in 0..10u64 {
                 let a = run_protocol(&Adaptive::paper(), &cfg, seed);
@@ -65,11 +65,13 @@ fn engines_produce_identically_shaped_results() {
     let reps = 30u64;
     let mut ratios = [0.0f64; 2];
     let mut max_ok = [true; 2];
-    for (i, engine) in [Engine::Naive, Engine::Jump].into_iter().enumerate() {
+    for (i, engine) in [Engine::Faithful, Engine::Jump].into_iter().enumerate() {
         let cfg = RunConfig::new(n, m).with_engine(engine);
         let outs = run_replicates(&Threshold, &cfg, 77, reps);
         ratios[i] = outs.iter().map(|o| o.time_ratio()).sum::<f64>() / reps as f64;
-        max_ok[i] = outs.iter().all(|o| o.max_load() as u64 <= cfg.max_load_bound());
+        max_ok[i] = outs
+            .iter()
+            .all(|o| o.max_load() as u64 <= cfg.max_load_bound());
     }
     assert!(max_ok[0] && max_ok[1]);
     assert!(
@@ -101,7 +103,10 @@ fn threshold_depends_on_m_adaptive_does_not() {
     use balls_into_bins::core::protocols::Threshold as Thr;
     // threshold's acceptance bound changes with m; adaptive's per-ball
     // bound does not.
-    assert_ne!(Thr::acceptance_bound(100, 100), Thr::acceptance_bound(100, 10_000));
+    assert_ne!(
+        Thr::acceptance_bound(100, 100),
+        Thr::acceptance_bound(100, 10_000)
+    );
     let a = Adaptive::paper();
     assert_eq!(a.acceptance_bound(100, 5), a.acceptance_bound(100, 5));
 }
@@ -115,8 +120,5 @@ fn outcome_metrics_are_internally_consistent() {
     assert!(out.psi() >= 0.0);
     assert!(out.phi() > 0.0);
     assert!(out.time_ratio() >= 1.0);
-    assert_eq!(
-        out.excess_samples(),
-        out.total_samples - 1000
-    );
+    assert_eq!(out.excess_samples(), out.total_samples - 1000);
 }

@@ -22,7 +22,12 @@ fn full_scale_n_squared_separation() {
     let thr = run_protocol(&Threshold, &cfg, 1);
     assert!(ada.max_load() as u64 <= cfg.max_load_bound());
     assert!(thr.max_load() as u64 <= cfg.max_load_bound());
-    assert!(thr.psi() > 10.0 * ada.psi(), "thr {} vs ada {}", thr.psi(), ada.psi());
+    assert!(
+        thr.psi() > 10.0 * ada.psi(),
+        "thr {} vs ada {}",
+        thr.psi(),
+        ada.psi()
+    );
     assert!(ada.psi() < 4.0 * n as f64);
 }
 
@@ -56,20 +61,20 @@ fn adaptive_gap_at_quarter_million_bins() {
     );
 }
 
-/// Naive engine at moderate-heavy scale: agreement with the jump engine
-/// on the time ratio within 1%.
+/// Faithful engine at moderate-heavy scale: agreement with the jump
+/// engine on the time ratio within 1%.
 #[test]
-#[ignore = "heavy: naive engine, m = 8.4M"]
-fn naive_engine_full_agreement() {
+#[ignore = "heavy: faithful engine, m = 8.4M"]
+fn faithful_engine_full_agreement() {
     let n = 1usize << 16;
     let m = 128 * n as u64;
     let ratio = |engine: Engine| -> f64 {
         let cfg = RunConfig::new(n, m).with_engine(engine);
         run_protocol(&Threshold, &cfg, 4).time_ratio()
     };
-    let (naive, jump) = (ratio(Engine::Naive), ratio(Engine::Jump));
+    let (faithful, jump) = (ratio(Engine::Faithful), ratio(Engine::Jump));
     assert!(
-        (naive - jump).abs() < 0.01,
-        "naive {naive} vs jump {jump}"
+        (faithful - jump).abs() < 0.01,
+        "faithful {faithful} vs jump {jump}"
     );
 }
