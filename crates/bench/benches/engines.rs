@@ -1,15 +1,42 @@
-//! Criterion: **E11 engine ablation** — the faithful retry loop vs the
-//! geometric-jump engine, across load levels.
+//! Criterion: **E11 engine ablation** — the faithful retry loop, the
+//! geometric-jump engine and the level-batched engine, across load
+//! levels.
 //!
-//! The two engines are distributionally identical (see
-//! `bib-core::sampler`); this bench quantifies the wall-clock win that
-//! justifies the jump engine's existence, especially at high ϕ where
-//! `threshold` wastes many samples near the end of a run.
+//! The engines agree in distribution on final load vectors (see
+//! `bib-core::sampler` and `bib-core::level_batched`); this bench
+//! quantifies the wall-clock separation that justifies each fast path.
+//! The `engines/heavy` group is the acceptance benchmark for the
+//! level-batched engine: `threshold` at `n = 10⁴, m = n²` (Lemma 4.2's
+//! regime), where batching must beat the jump engine by ≥ 5×.
 
 use bib_core::prelude::*;
 use bib_rng::SeedSequence;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
+
+const ENGINES: [(&str, Engine); 3] = [
+    ("faithful", Engine::Faithful),
+    ("jump", Engine::Jump),
+    ("level-batched", Engine::LevelBatched),
+];
+
+/// Benches one concrete protocol so the whole allocation stack
+/// monomorphizes — the configuration every experiment binary now runs.
+fn bench_proto<P: Protocol>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    proto: P,
+    label: &str,
+    cfg: &RunConfig,
+) {
+    group.bench_with_input(BenchmarkId::new(proto.name(), label), cfg, |b, cfg| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SeedSequence::new(seed).rng();
+            proto.allocate(cfg, &mut rng, &mut NullObserver)
+        });
+    });
+}
 
 fn bench_engines(c: &mut Criterion) {
     let n = 2048usize;
@@ -17,29 +44,46 @@ fn bench_engines(c: &mut Criterion) {
         let m = phi * n as u64;
         let mut group = c.benchmark_group(format!("engines/phi={phi}"));
         group.throughput(Throughput::Elements(m));
-        for (label, engine) in [("faithful", Engine::Faithful), ("jump", Engine::Jump)] {
-            for proto in [
-                Box::new(Adaptive::paper()) as Box<dyn Protocol>,
-                Box::new(Threshold),
-            ] {
-                let cfg = RunConfig::new(n, m).with_engine(engine);
-                group.bench_with_input(BenchmarkId::new(proto.name(), label), &cfg, |b, cfg| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let mut rng = SeedSequence::new(seed).rng();
-                        proto.allocate(cfg, &mut rng, &mut NullObserver)
-                    });
-                });
-            }
+        for (label, engine) in ENGINES {
+            let cfg = RunConfig::new(n, m).with_engine(engine);
+            bench_proto(&mut group, Adaptive::paper(), label, &cfg);
+            bench_proto(&mut group, Threshold, label, &cfg);
         }
         group.finish();
     }
 }
 
+fn bench_heavy(c: &mut Criterion) {
+    // Acceptance regime: m = n². Debug builds (the `--test` smoke mode)
+    // shrink n so the single smoke iteration stays fast; release
+    // measurement uses the full size.
+    #[cfg(debug_assertions)]
+    let n = 512usize;
+    #[cfg(not(debug_assertions))]
+    let n = 10_000usize;
+    let m = (n as u64) * (n as u64);
+    let mut group = c.benchmark_group(format!("engines/heavy n={n} m=n^2"));
+    group.throughput(Throughput::Elements(m));
+    for (label, engine) in [
+        ("jump", Engine::Jump),
+        ("level-batched", Engine::LevelBatched),
+    ] {
+        let cfg = RunConfig::new(n, m).with_engine(engine);
+        group.bench_with_input(BenchmarkId::new("threshold", label), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                Threshold.allocate(cfg, &mut rng, &mut NullObserver)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(15).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_engines
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_engines, bench_heavy
 }
 criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! **E12 — engine/protocol perf matrix** → `BENCH_engines.json`.
+//!
+//! Runs `threshold` and `adaptive` under every engine at fixed sizes,
+//! measures wall time, and writes a machine-readable JSON record so the
+//! perf trajectory is tracked in-repo from this PR on. The committed
+//! `BENCH_engines.json` at the repo root is a full run on the reference
+//! machine; CI re-runs `--smoke` to catch engine regressions that break
+//! the run itself.
+//!
+//! ```text
+//! cargo run --release -p bib-bench --bin bench_json [-- --smoke --out PATH --seed <u64>]
+//! ```
+
+use bib_core::prelude::*;
+use bib_core::run::run_protocol;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured cell of the matrix.
+struct Cell {
+    protocol: String,
+    engine: Engine,
+    n: usize,
+    m: u64,
+    reps: u64,
+    wall_ms_mean: f64,
+    samples_per_ball: f64,
+    mballs_per_sec: f64,
+}
+
+fn measure<P: Protocol>(proto: &P, cfg: &RunConfig, seed: u64, reps: u64) -> Cell {
+    let mut wall_ms = 0.0f64;
+    let mut samples = 0u64;
+    for rep in 0..reps {
+        let start = Instant::now();
+        let out = run_protocol(proto, cfg, seed.wrapping_add(rep));
+        wall_ms += start.elapsed().as_secs_f64() * 1e3;
+        samples += out.total_samples;
+    }
+    let wall_ms_mean = wall_ms / reps as f64;
+    Cell {
+        protocol: proto.name(),
+        engine: cfg.engine,
+        n: cfg.n,
+        m: cfg.m,
+        reps,
+        wall_ms_mean,
+        samples_per_ball: if cfg.m == 0 {
+            0.0
+        } else {
+            samples as f64 / (reps * cfg.m) as f64
+        },
+        mballs_per_sec: cfg.m as f64 / wall_ms_mean / 1e3,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_engines.json");
+    let mut seed = 2013u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a u64");
+            }
+            other => panic!("unknown flag {other}; supported: --smoke --out <path> --seed <u64>"),
+        }
+    }
+
+    // (n, phi) grid: light (phi = 16), heavy (phi = 256) and the
+    // Lemma 4.2 regime (m = n², phi = n) where the engines separate.
+    let sizes: Vec<(usize, u64, u64)> = if smoke {
+        vec![(256, 4, 3), (512, 32, 3), (512, 512, 3)]
+    } else {
+        vec![(4096, 16, 5), (4096, 256, 5), (10_000, 10_000, 3)]
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &(n, phi, reps) in &sizes {
+        let m = phi * n as u64;
+        for engine in Engine::ALL {
+            let cfg = RunConfig::new(n, m).with_engine(engine);
+            cells.push(measure(&Threshold, &cfg, seed, reps));
+            cells.push(measure(&Adaptive::paper(), &cfg, seed, reps));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v1\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"protocol\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"reps\": {}, \"wall_ms_mean\": {:.3}, \"samples_per_ball\": {:.6}, \
+             \"mballs_per_sec\": {:.3}}}",
+            c.protocol,
+            c.engine,
+            c.n,
+            c.m,
+            c.reps,
+            c.wall_ms_mean,
+            c.samples_per_ball,
+            c.mballs_per_sec
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+
+    // Human-readable echo.
+    println!("# wrote {out_path} ({} cells)", cells.len());
+    println!(
+        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>14} {:>12}",
+        "protocol", "engine", "n", "m", "wall_ms", "samples/ball", "Mballs/s"
+    );
+    for c in &cells {
+        println!(
+            "{:<12} {:>14} {:>8} {:>12} {:>12.3} {:>14.4} {:>12.2}",
+            c.protocol, c.engine, c.n, c.m, c.wall_ms_mean, c.samples_per_ball, c.mballs_per_sec
+        );
+    }
+}

@@ -18,16 +18,20 @@ use bib_parallel::{replicate_outcomes, ReplicateSpec};
 
 fn main() {
     let args = ExpArgs::parse();
+    // 16× the pre-monomorphization top size. adaptive's stages are too
+    // short for level-batching to pay, so the sweep is inherently
+    // per-ball work; the faithful engine is its fastest (few retries at
+    // slack 1 — see BENCH_engines.json), making n = 2²¹ a few minutes.
     let ns: Vec<usize> = args.pick(
         vec![
-            1 << 10,
-            1 << 11,
-            1 << 12,
-            1 << 13,
             1 << 14,
             1 << 15,
             1 << 16,
             1 << 17,
+            1 << 18,
+            1 << 19,
+            1 << 20,
+            1 << 21,
         ],
         vec![1 << 8, 1 << 10],
     );
@@ -44,7 +48,7 @@ fn main() {
     let mut table = Table::new(vec!["n", "phi/n", "psi/n", "gap", "gap/log2(n)"]);
     for &n in &ns {
         let m = phi_load * n as u64;
-        let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
+        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Faithful));
         let outs = replicate_outcomes(
             &Adaptive::paper(),
             &cfg,

@@ -36,7 +36,7 @@ fn main() {
     ]);
 
     for &m in &ms {
-        let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
+        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
         let spec = ReplicateSpec::new(reps, args.seed);
         let ada = replicate_outcomes(&Adaptive::paper(), &cfg, &spec);
         let thr = replicate_outcomes(&Threshold, &cfg, &spec);

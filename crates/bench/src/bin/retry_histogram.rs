@@ -37,9 +37,15 @@ fn main() {
     let phi = 64u64;
     let m = phi * n as u64;
     let cells = 16usize;
-    let cfg = RunConfig::new(n, m).with_engine(Engine::Faithful); // faithful retries
+    let engine = args.engine_or(Engine::Faithful);
+    assert!(
+        engine != Engine::LevelBatched,
+        "retry_histogram needs per-ball events; the level-batched engine produces none \
+         (use --engine faithful or jump)"
+    );
+    let cfg = RunConfig::new(n, m).with_engine(engine);
 
-    println!("# Per-ball retry histogram; n = {n}, phi = {phi} (faithful engine)\n");
+    println!("# Per-ball retry histogram; n = {n}, phi = {phi} ({engine} engine)\n");
     let mut table = Table::new(vec![
         "samples",
         "adaptive_frac",

@@ -32,7 +32,7 @@ fn main() {
     for &n in &ns {
         for &phi in &phis {
             let m = phi * n as u64;
-            let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
+            let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
             let outs = replicate_outcomes(
                 &Adaptive::paper(),
                 &cfg,

@@ -9,10 +9,14 @@
 //! * `--quick` — shrink sizes/replicates for a fast smoke run;
 //! * `--seed <u64>` — master seed (default 2013);
 //! * `--reps <u64>` — override the replicate count;
+//! * `--engine <faithful|jump|level-batched>` — override the simulation
+//!   engine for threshold-style protocols;
 //! * `--csv` — emit machine-readable CSV instead of an aligned table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use bib_core::protocol::Engine;
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +27,8 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Replicate-count override.
     pub reps: Option<u64>,
+    /// Engine override for threshold-style protocols.
+    pub engine: Option<Engine>,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
 }
@@ -33,6 +39,7 @@ impl Default for ExpArgs {
             quick: false,
             seed: 2013,
             reps: None,
+            engine: None,
             csv: false,
         }
     }
@@ -61,8 +68,16 @@ impl ExpArgs {
                             .expect("--reps needs a u64"),
                     );
                 }
+                "--engine" => {
+                    out.engine = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--engine needs faithful, jump or level-batched"),
+                    );
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --quick --csv --seed <u64> --reps <u64>"
+                    "unknown flag {other}; supported: --quick --csv --seed <u64> --reps <u64> \
+                     --engine <faithful|jump|level-batched>"
                 ),
             }
         }
@@ -73,6 +88,12 @@ impl ExpArgs {
     /// vs `full` defaults.
     pub fn reps_or(&self, full: u64, quick: u64) -> u64 {
         self.reps.unwrap_or(if self.quick { quick } else { full })
+    }
+
+    /// Picks the engine: explicit `--engine` wins, else the experiment's
+    /// default.
+    pub fn engine_or(&self, default: Engine) -> Engine {
+        self.engine.unwrap_or(default)
     }
 
     /// Picks any size parameter by mode.
@@ -215,6 +236,12 @@ mod tests {
         assert_eq!(a.seed, 2013);
         assert_eq!(a.reps_or(100, 5), 100);
         assert_eq!(a.pick(10, 1), 10);
+        assert_eq!(a.engine_or(Engine::Jump), Engine::Jump);
+        let e = ExpArgs {
+            engine: Some(Engine::LevelBatched),
+            ..ExpArgs::default()
+        };
+        assert_eq!(e.engine_or(Engine::Jump), Engine::LevelBatched);
         let q = ExpArgs {
             quick: true,
             ..ExpArgs::default()

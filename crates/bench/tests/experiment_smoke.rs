@@ -256,3 +256,44 @@ fn binaries_reject_unknown_flags() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn bench_json_smoke_writes_valid_json() {
+    let out_path = std::env::temp_dir().join("bib_bench_engines_smoke.json");
+    let path = out_path.to_str().unwrap();
+    let echo = run(
+        env!("CARGO_BIN_EXE_bench_json"),
+        &["--smoke", "--out", path],
+    );
+    assert!(echo.contains("level-batched"));
+    let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v1\""));
+    // Full matrix: 3 sizes x 3 engines x 2 protocols.
+    assert_eq!(json.matches("\"protocol\"").count(), 18);
+    for engine in ["faithful", "jump", "level-batched"] {
+        assert!(
+            json.contains(&format!("\"engine\": \"{engine}\"")),
+            "missing engine {engine}"
+        );
+    }
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn experiment_binaries_accept_engine_flag() {
+    // --engine must parse and steer the run on a representative binary.
+    let out = run(
+        env!("CARGO_BIN_EXE_lemma42"),
+        &[
+            "--quick",
+            "--csv",
+            "--engine",
+            "level-batched",
+            "--reps",
+            "2",
+        ],
+    );
+    let (h, rows) = parse_csv(&out);
+    assert!(!rows.is_empty());
+    assert!(h.iter().any(|c| c == "thr_psi/n^1.125"));
+}

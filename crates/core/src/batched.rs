@@ -22,9 +22,9 @@
 //!   weakly increases with `b` — the `batched_adaptive` experiment
 //!   quantifies by how much.
 
-use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
+use crate::level_batched::{allocate_scheduled, ThresholdSchedule};
+use crate::protocol::{Observer, Outcome, Protocol, RunConfig};
 use crate::protocols::Adaptive;
-use crate::sampler::place_below;
 use bib_rng::Rng64;
 
 /// `adaptive` with the ball count synchronised every `b` balls.
@@ -52,26 +52,34 @@ impl BatchedAdaptive {
     }
 }
 
+impl ThresholdSchedule for BatchedAdaptive {
+    fn bound(&self, cfg: &RunConfig, ball: u64) -> u32 {
+        Adaptive::paper().acceptance_bound(cfg.n, self.stale_index(ball))
+    }
+
+    fn segment_end(&self, _cfg: &RunConfig, ball: u64) -> u64 {
+        // The stale index — hence the bound — is frozen for the batch.
+        self.stale_index(ball) + self.batch - 1
+    }
+}
+
 impl Protocol for BatchedAdaptive {
     fn name(&self) -> String {
         format!("adaptive/batch={}", self.batch)
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         assert!(
             self.batch <= cfg.n as u64,
             "feasibility requires batch size ({}) ≤ n ({})",
             self.batch,
             cfg.n
         );
-        let engine = cfg.engine;
-        let this = *self;
-        let inner = Adaptive::paper();
-        let n = cfg.n;
-        drive_sequential(self.name(), cfg, rng, obs, move |bins, ball, rng| {
-            let t = inner.acceptance_bound(n, this.stale_index(ball));
-            place_below(bins, t, engine, rng)
-        })
+        allocate_scheduled(self, cfg, rng, obs)
     }
 }
 

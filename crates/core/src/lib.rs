@@ -21,8 +21,11 @@
 //! * [`partitioned`] — bins grouped by load with O(1) placement and O(1)
 //!   "count / pick a bin below a threshold" queries; the engine room of
 //!   the fast simulation path.
-//! * [`sampler`] — the two distributionally identical retry engines
-//!   (faithful per-sample loop vs. geometric jump).
+//! * [`sampler`] — the per-ball retry engines (faithful per-sample loop
+//!   vs. geometric jump), distributionally identical.
+//! * [`level_batched`] — the third engine: whole constant-threshold
+//!   segments placed with binomial level splits, exact on final loads,
+//!   built for the `m = n²` regime.
 //! * [`potential`] — the quadratic Ψ and exponential Φ potentials and gap
 //!   metrics from Section 2.
 //! * [`protocol`] — the [`protocol::Protocol`] trait, run configuration,
@@ -49,6 +52,7 @@
 pub mod batched;
 pub mod bins;
 pub mod choices;
+pub mod level_batched;
 pub mod partitioned;
 pub mod poissonized;
 pub mod potential;
@@ -62,9 +66,12 @@ pub mod weighted;
 pub mod prelude {
     pub use crate::batched::BatchedAdaptive;
     pub use crate::bins::LoadVector;
+    pub use crate::level_batched::ThresholdSchedule;
     pub use crate::partitioned::PartitionedBins;
     pub use crate::potential::{exponential_potential, gap, quadratic_potential};
-    pub use crate::protocol::{Engine, NullObserver, Observer, Outcome, Protocol, RunConfig};
+    pub use crate::protocol::{
+        DynProtocol, Engine, NullObserver, Observer, Outcome, Protocol, RunConfig,
+    };
     pub use crate::protocols::{
         Adaptive, GreedyD, LeftD, Memory, OneChoice, OnePlusBeta, Threshold, ThresholdSlack,
         TieBreak,

@@ -8,13 +8,24 @@ use crate::potential::{
 };
 use bib_rng::Rng64;
 
-/// Which retry engine a threshold-style protocol uses.
+/// Which simulation engine a threshold-style protocol uses.
 ///
-/// Both engines produce *identically distributed* `(bin, sample-count)`
-/// pairs; see [`crate::sampler`] for the argument and the test suite for
-/// the statistical evidence. `Faithful` is the paper's literal process;
-/// `Jump` collapses each retry run into one geometric draw so that
-/// heavily loaded regimes (`m = n²`, Lemma 4.2) stay tractable.
+/// `Faithful` and `Jump` produce *identically distributed*
+/// `(bin, sample-count)` pairs per ball; see [`crate::sampler`] for the
+/// argument and the test suite for the statistical evidence. `Faithful`
+/// is the paper's literal process; `Jump` collapses each retry run into
+/// one geometric draw so that heavily loaded regimes (`m = n²`,
+/// Lemma 4.2) stay tractable.
+///
+/// `LevelBatched` goes one step further (see [`crate::level_batched`]):
+/// it walks constant-threshold segments of the run and splits each
+/// accepting group's intake with binomial draws instead of placing balls
+/// one at a time. It is distributionally *exact on the final load
+/// vector* but does not produce per-ball traces: `Observer::on_ball`
+/// never fires, `total_samples` is a CLT-faithful draw rather than a
+/// per-ball sum, and `max_samples_per_ball` is only a lower-bound proxy.
+/// Fixed-sample protocols (`one-choice`, `greedy[d]`, `left[d]`,
+/// `memory`, `(1+β)`) ignore the engine entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Faithful sample-by-sample retry loop.
@@ -23,6 +34,44 @@ pub enum Engine {
     /// Geometric-jump equivalent: draw the number of wasted samples in
     /// one shot, then pick an accepting bin uniformly.
     Jump,
+    /// Level-batched group placement: binomial intake splits per load
+    /// level, exact on final loads, no per-ball trace.
+    LevelBatched,
+}
+
+impl Engine {
+    /// All engines, in documentation order.
+    pub const ALL: [Engine; 3] = [Engine::Faithful, Engine::Jump, Engine::LevelBatched];
+
+    /// Canonical CLI / JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Faithful => "faithful",
+            Engine::Jump => "jump",
+            Engine::LevelBatched => "level-batched",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "faithful" | "naive" => Ok(Engine::Faithful),
+            "jump" => Ok(Engine::Jump),
+            "level-batched" | "batched" | "level_batched" => Ok(Engine::LevelBatched),
+            other => Err(format!(
+                "unknown engine {other:?}; expected faithful, jump or level-batched"
+            )),
+        }
+    }
 }
 
 /// Configuration of one allocation run.
@@ -65,21 +114,52 @@ impl RunConfig {
 ///
 /// All methods have no-op defaults. `on_stage_end` fires after every
 /// batch of `n` placed balls (the paper's *stages*), and once more at the
-/// end if `m` is not a multiple of `n`.
+/// end if `m` is not a multiple of `n`. Under [`Engine::LevelBatched`]
+/// `on_ball` never fires (there is no per-ball event stream), and
+/// `on_stage_end` fires only when [`Observer::wants_stage_ends`] returns
+/// `true` — the batched driver then caps its segments at stage
+/// boundaries so the trace stays exact.
 pub trait Observer {
     /// Called after each ball is placed: its 1-based index, the receiving
     /// bin, and how many bin samples it consumed.
     fn on_ball(&mut self, _ball: u64, _bin: usize, _samples: u64) {}
 
-    /// Called at the end of stage `tau` (1-based) with the full state.
-    fn on_stage_end(&mut self, _tau: u64, _bins: &PartitionedBins) {}
+    /// Called at the end of stage `tau` (1-based) with the load vector
+    /// and the number of balls placed so far.
+    fn on_stage_end(&mut self, _tau: u64, _loads: &[u32], _total: u64) {}
+
+    /// Whether this observer consumes `on_stage_end`. The level-batched
+    /// driver asks once per run; returning `false` (as [`NullObserver`]
+    /// does) lets it batch across stage boundaries.
+    fn wants_stage_ends(&self) -> bool {
+        true
+    }
+}
+
+/// Forwarding impl so observers can be passed down generic call chains
+/// by mutable reference (and so `&mut dyn Observer` can re-enter the
+/// monomorphized API).
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_ball(&mut self, ball: u64, bin: usize, samples: u64) {
+        (**self).on_ball(ball, bin, samples)
+    }
+    fn on_stage_end(&mut self, tau: u64, loads: &[u32], total: u64) {
+        (**self).on_stage_end(tau, loads, total)
+    }
+    fn wants_stage_ends(&self) -> bool {
+        (**self).wants_stage_ends()
+    }
 }
 
 /// The do-nothing observer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    fn wants_stage_ends(&self) -> bool {
+        false
+    }
+}
 
 /// Records Ψ, Φ (as ln Φ), and the gap at every stage boundary.
 ///
@@ -105,13 +185,11 @@ impl StageTrace {
 }
 
 impl Observer for StageTrace {
-    fn on_stage_end(&mut self, tau: u64, bins: &PartitionedBins) {
-        let loads = bins.as_slice();
-        let t = bins.total();
+    fn on_stage_end(&mut self, tau: u64, loads: &[u32], total: u64) {
         self.stages.push(tau);
-        self.psi.push(quadratic_potential(loads, t));
+        self.psi.push(quadratic_potential(loads, total));
         self.ln_phi
-            .push(ln_exponential_potential(loads, t, EPSILON));
+            .push(ln_exponential_potential(loads, total, EPSILON));
         self.gaps.push(gap(loads));
     }
 }
@@ -231,13 +309,85 @@ impl Outcome {
 }
 
 /// An allocation scheme that places `cfg.m` balls into `cfg.n` bins.
+///
+/// `allocate` is generic over the RNG and the observer, so the whole
+/// per-ball hot path — retry loop, distribution draws, observer hooks —
+/// monomorphizes and inlines; a [`NullObserver`] run compiles down to
+/// pure placement work with zero virtual calls. Code that needs runtime
+/// polymorphism (boxed protocol suites, the CLI) goes through the
+/// object-safe [`DynProtocol`] wrapper instead.
 pub trait Protocol {
     /// Human-readable name (used in tables and outcome records).
     fn name(&self) -> String;
 
     /// Runs the full allocation, reporting per-ball events to `obs`.
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome;
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized;
 }
+
+/// Object-safe view of a [`Protocol`], for heterogeneous suites like
+/// [`crate::protocols::table1_suite`].
+///
+/// Every `Protocol` is a `DynProtocol` (blanket impl below), and
+/// `dyn DynProtocol` implements `Protocol` back again by type-erasing
+/// the RNG and observer — so `Box<dyn DynProtocol>` flows through the
+/// same generic entry points (`run_protocol`, `replicate_outcomes`) as
+/// concrete protocols, paying one virtual hop per *run* instead of
+/// several per *ball*.
+pub trait DynProtocol {
+    /// [`Protocol::name`], type-erased.
+    fn dyn_name(&self) -> String;
+
+    /// [`Protocol::allocate`], type-erased.
+    fn dyn_allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer)
+        -> Outcome;
+}
+
+impl<P: Protocol> DynProtocol for P {
+    fn dyn_name(&self) -> String {
+        Protocol::name(self)
+    }
+
+    fn dyn_allocate(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut dyn Rng64,
+        obs: &mut dyn Observer,
+    ) -> Outcome {
+        self.allocate(cfg, rng, obs)
+    }
+}
+
+macro_rules! impl_protocol_for_dyn {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Protocol for $ty {
+            fn name(&self) -> String {
+                self.dyn_name()
+            }
+
+            fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+            where
+                R: Rng64 + ?Sized,
+                O: Observer + ?Sized,
+            {
+                // Re-borrowing through `&mut` gives sized handles that
+                // coerce to the trait objects the erased API needs.
+                let mut rng = rng;
+                let mut obs = obs;
+                self.dyn_allocate(cfg, &mut rng, &mut obs)
+            }
+        }
+    )+};
+}
+
+impl_protocol_for_dyn!(
+    dyn DynProtocol + '_,
+    dyn DynProtocol + Send + '_,
+    dyn DynProtocol + Sync + '_,
+    dyn DynProtocol + Send + Sync + '_,
+);
 
 /// Drives the common per-ball loop shared by all sequential protocols:
 /// calls `place_one` for each ball, maintains the observer callbacks and
@@ -245,15 +395,17 @@ pub trait Protocol {
 ///
 /// `place_one(bins, ball_index, rng) -> (bin, samples)` must place the
 /// ball itself (via [`PartitionedBins::place`]) before returning.
-pub fn drive_sequential<F>(
+pub fn drive_sequential<R, O, F>(
     name: String,
     cfg: &RunConfig,
-    rng: &mut dyn Rng64,
-    obs: &mut dyn Observer,
+    rng: &mut R,
+    obs: &mut O,
     mut place_one: F,
 ) -> Outcome
 where
-    F: FnMut(&mut PartitionedBins, u64, &mut dyn Rng64) -> (usize, u64),
+    R: Rng64 + ?Sized,
+    O: Observer + ?Sized,
+    F: FnMut(&mut PartitionedBins, u64, &mut R) -> (usize, u64),
 {
     let mut bins = PartitionedBins::new(cfg.n);
     let mut total_samples = 0u64;
@@ -271,11 +423,11 @@ where
         max_samples = max_samples.max(samples);
         obs.on_ball(ball, bin, samples);
         if ball % n64 == 0 {
-            obs.on_stage_end(ball / n64, &bins);
+            obs.on_stage_end(ball / n64, bins.as_slice(), ball);
         }
     }
     if !cfg.m.is_multiple_of(n64) {
-        obs.on_stage_end(cfg.m / n64 + 1, &bins);
+        obs.on_stage_end(cfg.m / n64 + 1, bins.as_slice(), cfg.m);
     }
     Outcome {
         protocol: name,
@@ -300,18 +452,31 @@ mod tests {
         fn name(&self) -> String {
             "trivial".into()
         }
-        fn allocate(
-            &self,
-            cfg: &RunConfig,
-            rng: &mut dyn Rng64,
-            obs: &mut dyn Observer,
-        ) -> Outcome {
+        fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+        where
+            R: Rng64 + ?Sized,
+            O: Observer + ?Sized,
+        {
             drive_sequential(self.name(), cfg, rng, obs, |bins, _ball, rng| {
                 let b = rng.range_usize(bins.n());
                 bins.place(b);
                 (b, 1)
             })
         }
+    }
+
+    #[test]
+    fn dyn_wrapper_round_trips() {
+        // Boxed protocols flow through the generic API and agree with
+        // the direct monomorphized call on the same stream.
+        let cfg = RunConfig::new(5, 40);
+        let boxed: Box<dyn DynProtocol> = Box::new(Trivial);
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        let a = boxed.allocate(&cfg, &mut r1, &mut NullObserver);
+        let b = Trivial.allocate(&cfg, &mut r2, &mut NullObserver);
+        assert_eq!(a, b);
+        assert_eq!(boxed.name(), "trivial");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! discussed in Section 2: each stage degenerates into a coupon-collector
 //! process and the allocation time becomes `Θ(m log n)`.
 
-use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
-use crate::sampler::place_below;
+use crate::level_batched::{allocate_scheduled, ThresholdSchedule};
+use crate::protocol::{Observer, Outcome, Protocol, RunConfig};
 use bib_rng::Rng64;
 
 /// The adaptive-threshold protocol, parameterised by the additive slack
@@ -71,6 +71,17 @@ impl Adaptive {
     }
 }
 
+impl ThresholdSchedule for Adaptive {
+    fn bound(&self, cfg: &RunConfig, ball: u64) -> u32 {
+        self.acceptance_bound(cfg.n, ball)
+    }
+
+    fn segment_end(&self, cfg: &RunConfig, ball: u64) -> u64 {
+        // The bound is constant within a stage of n balls.
+        ((ball - 1) / cfg.n as u64 + 1) * cfg.n as u64
+    }
+}
+
 impl Protocol for Adaptive {
     fn name(&self) -> String {
         match self.slack {
@@ -80,14 +91,12 @@ impl Protocol for Adaptive {
         }
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
-        let engine = cfg.engine;
-        let this = *self;
-        let n = cfg.n;
-        drive_sequential(self.name(), cfg, rng, obs, move |bins, ball, rng| {
-            let t = this.acceptance_bound(n, ball);
-            place_below(bins, t, engine, rng)
-        })
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        allocate_scheduled(self, cfg, rng, obs)
     }
 }
 

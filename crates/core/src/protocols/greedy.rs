@@ -59,7 +59,11 @@ impl Protocol for GreedyD {
         }
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         let d = self.d;
         let tie = self.tie;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {

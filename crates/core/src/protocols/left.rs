@@ -42,7 +42,11 @@ impl Protocol for LeftD {
         format!("left[{}]", self.d)
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         assert!(
             cfg.n >= self.d as usize,
             "left[{}] needs at least {} bins, got {}",

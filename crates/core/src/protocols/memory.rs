@@ -47,10 +47,15 @@ impl Protocol for Memory {
         format!("memory({},{})", self.d, self.k)
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         let d = self.d as usize;
         let k = self.k as usize;
-        // The memory cache persists across balls.
+        // The memory cache persists across balls; both buffers are
+        // allocated once here and reused for every ball.
         let mut cache: Vec<usize> = Vec::with_capacity(k);
         let mut candidates: Vec<usize> = Vec::with_capacity(d + k);
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
@@ -81,10 +86,30 @@ impl Protocol for Memory {
             bins.place(best);
 
             // Remember the k least-loaded distinct candidates
-            // (post-placement loads).
-            candidates.sort_unstable();
-            candidates.dedup();
-            candidates.sort_by_key(|&c| bins.load(c));
+            // (post-placement loads, ties to the smaller bin index).
+            // Dedup and sort in place: a stable library sort here would
+            // allocate its merge buffer on every ball.
+            let mut distinct = 0usize;
+            for i in 0..candidates.len() {
+                let c = candidates[i];
+                if !candidates[..distinct].contains(&c) {
+                    candidates[distinct] = c;
+                    distinct += 1;
+                }
+            }
+            candidates.truncate(distinct);
+            for i in 1..candidates.len() {
+                let mut j = i;
+                while j > 0 {
+                    let (a, b) = (candidates[j - 1], candidates[j]);
+                    if (bins.load(b), b) < (bins.load(a), a) {
+                        candidates.swap(j - 1, j);
+                        j -= 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
             cache.clear();
             cache.extend(candidates.iter().take(k).copied());
 

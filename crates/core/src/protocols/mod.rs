@@ -32,11 +32,16 @@ pub use one_choice::OneChoice;
 pub use one_plus_beta::OnePlusBeta;
 pub use threshold::{Threshold, ThresholdSlack};
 
-use crate::protocol::Protocol;
+use crate::protocol::DynProtocol;
 
 /// The protocols compared in Table 1, in the table's order, with the
 /// standard parameters used by the `table1` experiment.
-pub fn table1_suite() -> Vec<Box<dyn Protocol>> {
+///
+/// Boxed behind the object-safe [`DynProtocol`] wrapper; `dyn
+/// DynProtocol` implements [`crate::protocol::Protocol`], so suite
+/// entries flow through the same generic entry points as concrete
+/// protocols.
+pub fn table1_suite() -> Vec<Box<dyn DynProtocol + Send + Sync>> {
     vec![
         Box::new(OneChoice),
         Box::new(GreedyD::new(2)),
@@ -51,9 +56,9 @@ pub fn table1_suite() -> Vec<Box<dyn Protocol>> {
 /// Looks a protocol up by its canonical name (as printed by
 /// `Protocol::name` for the standard parameterisations). Returns `None`
 /// for unknown names.
-pub fn by_name(name: &str) -> Option<Box<dyn Protocol>> {
+pub fn by_name(name: &str) -> Option<Box<dyn DynProtocol + Send + Sync>> {
     Some(match name {
-        "one-choice" => Box::new(OneChoice) as Box<dyn Protocol>,
+        "one-choice" => Box::new(OneChoice) as Box<dyn DynProtocol + Send + Sync>,
         "greedy[2]" => Box::new(GreedyD::new(2)),
         "greedy[3]" => Box::new(GreedyD::new(3)),
         "left[2]" => Box::new(LeftD::new(2)),
@@ -68,6 +73,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Protocol>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Protocol;
 
     #[test]
     fn suite_has_expected_names() {

@@ -19,7 +19,11 @@ impl Protocol for OneChoice {
         "one-choice".into()
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         drive_sequential(self.name(), cfg, rng, obs, |bins, _ball, rng| {
             let b = rng.range_usize(bins.n());
             bins.place(b);

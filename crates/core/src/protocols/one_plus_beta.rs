@@ -40,7 +40,11 @@ impl Protocol for OnePlusBeta {
         format!("one+beta({})", self.beta)
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
         let beta = self.beta;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
             let n = bins.n();
@@ -96,7 +100,7 @@ mod tests {
         // The PTW headline at laptop scale: fix n, grow m 16x; the
         // (1+β) gap stays put while one-choice's grows.
         let n = 1024usize;
-        let gap_at = |proto: &dyn Protocol, m: u64| -> f64 {
+        let gap_at = |proto: &dyn crate::protocol::DynProtocol, m: u64| -> f64 {
             (0..5u64)
                 .map(|s| run_protocol(proto, &RunConfig::new(n, m), s).gap() as f64)
                 .sum::<f64>()

@@ -7,8 +7,8 @@
 //! shows the final distribution is *rough*: at `m = n²` the quadratic
 //! potential is `Ω(n^{9/8})` and the gap `Ω(n^{1/8})`.
 
-use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
-use crate::sampler::place_below;
+use crate::level_batched::{allocate_scheduled, ThresholdSchedule};
+use crate::protocol::{Observer, Outcome, Protocol, RunConfig};
 use bib_rng::Rng64;
 
 /// The static-threshold protocol. Stateless: the acceptance threshold is
@@ -38,17 +38,28 @@ impl Threshold {
     }
 }
 
+impl ThresholdSchedule for Threshold {
+    fn bound(&self, cfg: &RunConfig, _ball: u64) -> u32 {
+        Self::acceptance_bound(cfg.n, cfg.m)
+    }
+
+    fn segment_end(&self, cfg: &RunConfig, _ball: u64) -> u64 {
+        // The bound is global: the whole run is one segment.
+        cfg.m
+    }
+}
+
 impl Protocol for Threshold {
     fn name(&self) -> String {
         "threshold".into()
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
-        let t = Self::acceptance_bound(cfg.n, cfg.m);
-        let engine = cfg.engine;
-        drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
-            place_below(bins, t, engine, rng)
-        })
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        allocate_scheduled(self, cfg, rng, obs)
     }
 }
 
@@ -81,17 +92,27 @@ impl ThresholdSlack {
     }
 }
 
+impl ThresholdSchedule for ThresholdSlack {
+    fn bound(&self, cfg: &RunConfig, _ball: u64) -> u32 {
+        self.acceptance_bound(cfg.n, cfg.m)
+    }
+
+    fn segment_end(&self, cfg: &RunConfig, _ball: u64) -> u64 {
+        cfg.m
+    }
+}
+
 impl Protocol for ThresholdSlack {
     fn name(&self) -> String {
         format!("threshold(+{})", self.slack)
     }
 
-    fn allocate(&self, cfg: &RunConfig, rng: &mut dyn Rng64, obs: &mut dyn Observer) -> Outcome {
-        let t = self.acceptance_bound(cfg.n, cfg.m);
-        let engine = cfg.engine;
-        drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {
-            place_below(bins, t, engine, rng)
-        })
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        allocate_scheduled(self, cfg, rng, obs)
     }
 }
 

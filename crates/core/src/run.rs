@@ -8,17 +8,20 @@ use crate::protocol::{NullObserver, Observer, Outcome, Protocol, RunConfig};
 use bib_rng::SeedSequence;
 
 /// Runs a protocol once with a seed derived from `(seed, protocol name)`.
-pub fn run_protocol(protocol: &dyn Protocol, cfg: &RunConfig, seed: u64) -> Outcome {
+///
+/// Generic over the protocol so concrete call sites monomorphize end to
+/// end; boxed suites pass `&dyn DynProtocol` (which implements
+/// [`Protocol`]) and pay one virtual hop per run.
+pub fn run_protocol<P: Protocol + ?Sized>(protocol: &P, cfg: &RunConfig, seed: u64) -> Outcome {
     run_with_observer(protocol, cfg, seed, &mut NullObserver)
 }
 
 /// [`run_protocol`] with a custom observer.
-pub fn run_with_observer(
-    protocol: &dyn Protocol,
-    cfg: &RunConfig,
-    seed: u64,
-    obs: &mut dyn Observer,
-) -> Outcome {
+pub fn run_with_observer<P, O>(protocol: &P, cfg: &RunConfig, seed: u64, obs: &mut O) -> Outcome
+where
+    P: Protocol + ?Sized,
+    O: Observer + ?Sized,
+{
     let mut rng = SeedSequence::new(seed).child_str(&protocol.name()).rng();
     let out = protocol.allocate(cfg, &mut rng, obs);
     out.validate();
@@ -36,8 +39,8 @@ pub fn replicate_seed(seed: u64, protocol_name: &str, rep: u64) -> u64 {
 
 /// Runs `reps` independent replicates sequentially; replicate `r` uses
 /// [`replicate_seed`]`(seed, name, r)`.
-pub fn run_replicates(
-    protocol: &dyn Protocol,
+pub fn run_replicates<P: Protocol + ?Sized>(
+    protocol: &P,
     cfg: &RunConfig,
     seed: u64,
     reps: u64,

@@ -27,20 +27,28 @@ use bib_rng::{Rng64, RngExt};
 /// Panics (via [`PartitionedBins::choose_below`] or an explicit check) if
 /// no bin accepts — neither paper protocol can reach that state, and
 /// reaching it indicates a threshold bug.
-pub fn place_below(
+///
+/// [`Engine::LevelBatched`] has no *per-ball* placement of its own (its
+/// whole point is to avoid one); a single ball under that engine is
+/// placed by the distributionally identical jump rule.
+pub fn place_below<R: Rng64 + ?Sized>(
     bins: &mut PartitionedBins,
     t: u32,
     engine: Engine,
-    rng: &mut dyn Rng64,
+    rng: &mut R,
 ) -> (usize, u64) {
     match engine {
         Engine::Faithful => place_below_naive(bins, t, rng),
-        Engine::Jump => place_below_jump(bins, t, rng),
+        Engine::Jump | Engine::LevelBatched => place_below_jump(bins, t, rng),
     }
 }
 
 /// Faithful retry loop (Figures 1 and 2 of the paper).
-pub fn place_below_naive(bins: &mut PartitionedBins, t: u32, rng: &mut dyn Rng64) -> (usize, u64) {
+pub fn place_below_naive<R: Rng64 + ?Sized>(
+    bins: &mut PartitionedBins,
+    t: u32,
+    rng: &mut R,
+) -> (usize, u64) {
     assert!(
         bins.count_below(t) > 0,
         "place_below: no bin has load < {t}; the protocol threshold is wrong"
@@ -59,7 +67,11 @@ pub fn place_below_naive(bins: &mut PartitionedBins, t: u32, rng: &mut dyn Rng64
 
 /// Geometric-jump equivalent: one `Geometric(k/n)` draw for the sample
 /// count, one uniform pick among accepting bins.
-pub fn place_below_jump(bins: &mut PartitionedBins, t: u32, rng: &mut dyn Rng64) -> (usize, u64) {
+pub fn place_below_jump<R: Rng64 + ?Sized>(
+    bins: &mut PartitionedBins,
+    t: u32,
+    rng: &mut R,
+) -> (usize, u64) {
     let k = bins.count_below(t);
     assert!(
         k > 0,

@@ -120,12 +120,11 @@ proptest! {
         n in 1usize..64,
         m in 0u64..500,
         seed in 0u64..1000,
-        jump in any::<bool>(),
+        engine_idx in 0usize..Engine::ALL.len(),
     ) {
-        let engine = if jump { Engine::Jump } else { Engine::Faithful };
-        let cfg = RunConfig::new(n, m).with_engine(engine);
+        let cfg = RunConfig::new(n, m).with_engine(Engine::ALL[engine_idx]);
         for proto in [
-            Box::new(Adaptive::paper()) as Box<dyn Protocol>,
+            Box::new(Adaptive::paper()) as Box<dyn DynProtocol>,
             Box::new(ThresholdProto),
         ] {
             let out = run_protocol(proto.as_ref(), &cfg, seed);

@@ -43,8 +43,11 @@ impl ReplicateSpec {
 
 /// Runs `spec.reps` independent replicates of `protocol` under `cfg` in
 /// parallel and returns the outcomes in replicate order.
-pub fn replicate_outcomes(
-    protocol: &(dyn Protocol + Sync),
+///
+/// Generic over the protocol so each worker's allocation loop is fully
+/// monomorphized; boxed suites pass `&(dyn DynProtocol + Sync)`.
+pub fn replicate_outcomes<P: Protocol + Sync + ?Sized>(
+    protocol: &P,
     cfg: &RunConfig,
     spec: &ReplicateSpec,
 ) -> Vec<Outcome> {

@@ -48,7 +48,7 @@ fn main() {
         "dispatcher", "T/m", "max", "gap", "idle capacity*"
     );
     for proto in [
-        Box::new(Adaptive::paper()) as Box<dyn Protocol>,
+        Box::new(Adaptive::paper()) as Box<dyn DynProtocol>,
         Box::new(GreedyD::new(2)),
         Box::new(OneChoice),
     ] {

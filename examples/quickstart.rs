@@ -25,7 +25,7 @@ fn main() {
     );
 
     for proto in [
-        Box::new(Adaptive::paper()) as Box<dyn Protocol>,
+        Box::new(Adaptive::paper()) as Box<dyn DynProtocol>,
         Box::new(Threshold),
         Box::new(GreedyD::new(2)),
         Box::new(OneChoice),

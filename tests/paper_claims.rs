@@ -126,7 +126,7 @@ fn adaptive_potentials_stationary_at_every_stage() {
 #[test]
 fn figure3b_shape_psi_flat_vs_growing() {
     let n = 512usize;
-    let psi_at = |proto: &dyn Protocol, m: u64| -> f64 {
+    let psi_at = |proto: &dyn DynProtocol, m: u64| -> f64 {
         let cfg = RunConfig::new(n, m).with_engine(Engine::Jump);
         let outs = run_replicates(proto, &cfg, 13, 8);
         outs.iter().map(|o| o.psi()).sum::<f64>() / 8.0
