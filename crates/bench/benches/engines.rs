@@ -1,23 +1,28 @@
 //! Criterion: **E11 engine ablation** — the faithful retry loop, the
-//! geometric-jump engine and the level-batched engine, across load
-//! levels.
+//! geometric-jump engine, the level-batched engine and the
+//! occupancy-histogram engine, across load levels.
 //!
 //! The engines agree in distribution on final load vectors (see
-//! `bib-core::sampler` and `bib-core::level_batched`); this bench
-//! quantifies the wall-clock separation that justifies each fast path.
-//! The `engines/heavy` group is the acceptance benchmark for the
-//! level-batched engine: `threshold` at `n = 10⁴, m = n²` (Lemma 4.2's
-//! regime), where batching must beat the jump engine by ≥ 5×.
+//! `bib-core::sampler`, `bib-core::level_batched` and
+//! `bib-core::histogram`); this bench quantifies the wall-clock
+//! separation that justifies each fast path. The `engines/heavy` group
+//! is the acceptance benchmark for the batched engines at
+//! `n = 10⁴, m = n²` (Lemma 4.2's regime): `threshold` under
+//! level-batching must beat the jump engine by ≥ 5×, and the histogram
+//! engine gates the heavy `adaptive` speedup (≥ 20× over the faithful
+//! loop's ~1.9 s on the reference machine) plus the first-ever feasible
+//! `greedy[2]` run at this size.
 
 use bib_core::prelude::*;
 use bib_rng::SeedSequence;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 
-const ENGINES: [(&str, Engine); 3] = [
+const ENGINES: [(&str, Engine); 4] = [
     ("faithful", Engine::Faithful),
     ("jump", Engine::Jump),
     ("level-batched", Engine::LevelBatched),
+    ("histogram", Engine::Histogram),
 ];
 
 /// Benches one concrete protocol so the whole allocation stack
@@ -67,6 +72,7 @@ fn bench_heavy(c: &mut Criterion) {
     for (label, engine) in [
         ("jump", Engine::Jump),
         ("level-batched", Engine::LevelBatched),
+        ("histogram", Engine::Histogram),
     ] {
         let cfg = RunConfig::new(n, m).with_engine(engine);
         group.bench_with_input(BenchmarkId::new("threshold", label), &cfg, |b, cfg| {
@@ -78,6 +84,33 @@ fn bench_heavy(c: &mut Criterion) {
             });
         });
     }
+    // The acceptance gate for the histogram engine: adaptive's heavy
+    // run must stay ≥ 20× under the faithful loop's wall time (the
+    // faithful baseline itself lives in BENCH_engines.json — at ~2 s a
+    // criterion iteration it is too slow to re-bench on every run).
+    let cfg = RunConfig::new(n, m).with_engine(Engine::Histogram);
+    group.bench_with_input(BenchmarkId::new("adaptive", "histogram"), &cfg, |b, cfg| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SeedSequence::new(seed).rng();
+            Adaptive::paper().allocate(cfg, &mut rng, &mut NullObserver)
+        });
+    });
+    // First-ever feasible greedy[2] at m = n²: d-choice landing classes
+    // straight off the histogram CDF.
+    group.bench_with_input(
+        BenchmarkId::new("greedy[2]", "histogram"),
+        &cfg,
+        |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                GreedyD::new(2).allocate(cfg, &mut rng, &mut NullObserver)
+            });
+        },
+    );
     group.finish();
 }
 

@@ -1,22 +1,40 @@
 //! **E12 — engine/protocol perf matrix** → `BENCH_engines.json`.
 //!
-//! Runs `threshold` and `adaptive` under every engine at fixed sizes,
-//! measures wall time, and writes a machine-readable JSON record so the
-//! perf trajectory is tracked in-repo from this PR on. The committed
-//! `BENCH_engines.json` at the repo root is a full run on the reference
-//! machine; CI re-runs `--smoke` to catch engine regressions that break
-//! the run itself.
+//! Runs `threshold` and `adaptive` under every engine (plus `auto`) at
+//! fixed sizes, `one-choice` and `greedy[2]` under their histogram fast
+//! path at the heavy size, measures wall time, and writes a
+//! machine-readable JSON record so the perf trajectory is tracked
+//! in-repo. The committed `BENCH_engines.json` at the repo root is a
+//! full run on the reference machine; CI re-runs `--smoke` to catch
+//! engine regressions that break the run itself.
+//!
+//! The matrix cells are measured in parallel over
+//! [`bib_parallel::par_map`] worker threads (one cell per task — cells
+//! are independent runs), and the host context that wall-clock numbers
+//! depend on (worker threads, rustc version) is recorded in the JSON
+//! header. Parallel cells contend for cores, so the *committed*
+//! `BENCH_engines.json` — the artifact the `Engine::Auto` cutoffs are
+//! calibrated against — must come from a serial run (`--serial`, or a
+//! single-core host as recorded in `host.threads`).
 //!
 //! ```text
-//! cargo run --release -p bib-bench --bin bench_json [-- --smoke --out PATH --seed <u64>]
+//! cargo run --release -p bib-bench --bin bench_json [-- --smoke --out PATH --seed <u64> --serial]
 //! ```
 
 use bib_core::prelude::*;
 use bib_core::run::run_protocol;
+use bib_parallel::{available_threads, par_map};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One measured cell of the matrix.
+/// One cell of the matrix to measure.
+struct Spec {
+    proto: Box<dyn DynProtocol + Send + Sync>,
+    cfg: RunConfig,
+    reps: u64,
+}
+
+/// One measured cell.
 struct Cell {
     protocol: String,
     engine: Engine,
@@ -24,44 +42,68 @@ struct Cell {
     m: u64,
     reps: u64,
     wall_ms_mean: f64,
+    wall_ms_best: f64,
     samples_per_ball: f64,
     mballs_per_sec: f64,
 }
 
-fn measure<P: Protocol>(proto: &P, cfg: &RunConfig, seed: u64, reps: u64) -> Cell {
+fn measure(spec: &Spec, seed: u64) -> Cell {
+    // One untimed warm-up rep: page-faults, lazy allocations and branch
+    // history belong to the process, not the engine under test. Cells
+    // measured with a single rep are multi-second runs where the
+    // warm-up would double the cost for no benefit — skip it there.
+    if spec.reps > 1 {
+        let _ = run_protocol(spec.proto.as_ref(), &spec.cfg, seed);
+    }
     let mut wall_ms = 0.0f64;
+    let mut wall_ms_best = f64::MAX;
     let mut samples = 0u64;
-    for rep in 0..reps {
+    for rep in 0..spec.reps {
         let start = Instant::now();
-        let out = run_protocol(proto, cfg, seed.wrapping_add(rep));
-        wall_ms += start.elapsed().as_secs_f64() * 1e3;
+        let out = run_protocol(spec.proto.as_ref(), &spec.cfg, seed.wrapping_add(rep));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        wall_ms += ms;
+        wall_ms_best = wall_ms_best.min(ms);
         samples += out.total_samples;
     }
-    let wall_ms_mean = wall_ms / reps as f64;
+    let wall_ms_mean = wall_ms / spec.reps as f64;
     Cell {
-        protocol: proto.name(),
-        engine: cfg.engine,
-        n: cfg.n,
-        m: cfg.m,
-        reps,
+        protocol: spec.proto.name(),
+        engine: spec.cfg.engine,
+        n: spec.cfg.n,
+        m: spec.cfg.m,
+        reps: spec.reps,
         wall_ms_mean,
-        samples_per_ball: if cfg.m == 0 {
+        wall_ms_best,
+        samples_per_ball: if spec.cfg.m == 0 {
             0.0
         } else {
-            samples as f64 / (reps * cfg.m) as f64
+            samples as f64 / (spec.reps * spec.cfg.m) as f64
         },
-        mballs_per_sec: cfg.m as f64 / wall_ms_mean / 1e3,
+        mballs_per_sec: spec.cfg.m as f64 / wall_ms_best / 1e3,
     }
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 fn main() {
     let mut smoke = false;
+    let mut serial = false;
     let mut out_path = String::from("BENCH_engines.json");
     let mut seed = 2013u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--serial" => serial = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--seed" => {
                 seed = args
@@ -69,46 +111,87 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a u64");
             }
-            other => panic!("unknown flag {other}; supported: --smoke --out <path> --seed <u64>"),
+            other => panic!(
+                "unknown flag {other}; supported: --smoke --serial --out <path> --seed <u64>"
+            ),
         }
     }
-
-    // (n, phi) grid: light (phi = 16), heavy (phi = 256) and the
+    // (n, phi, reps) grid: light (phi = 16), heavy (phi = 256) and the
     // Lemma 4.2 regime (m = n², phi = n) where the engines separate.
     let sizes: Vec<(usize, u64, u64)> = if smoke {
         vec![(256, 4, 3), (512, 32, 3), (512, 512, 3)]
     } else {
-        vec![(4096, 16, 5), (4096, 256, 5), (10_000, 10_000, 3)]
+        vec![(4096, 16, 5), (4096, 256, 5), (10_000, 10_000, 5)]
     };
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let mut specs: Vec<Spec> = Vec::new();
     for &(n, phi, reps) in &sizes {
         let m = phi * n as u64;
-        for engine in Engine::ALL {
+        for engine in Engine::ALL.into_iter().chain([Engine::Auto]) {
             let cfg = RunConfig::new(n, m).with_engine(engine);
-            cells.push(measure(&Threshold, &cfg, seed, reps));
-            cells.push(measure(&Adaptive::paper(), &cfg, seed, reps));
+            specs.push(Spec {
+                proto: Box::new(Threshold),
+                cfg,
+                reps,
+            });
+            specs.push(Spec {
+                proto: Box::new(Adaptive::paper()),
+                cfg,
+                reps,
+            });
         }
     }
+    // Fixed-sample baselines at the heaviest size: the histogram engine
+    // is what makes greedy[2] runnable here at all in sane time.
+    let &(n_heavy, phi_heavy, _) = sizes.last().unwrap();
+    let m_heavy = phi_heavy * n_heavy as u64;
+    for engine in [Engine::Faithful, Engine::Histogram, Engine::Auto] {
+        let cfg = RunConfig::new(n_heavy, m_heavy).with_engine(engine);
+        let reps = if engine == Engine::Faithful && !smoke {
+            1 // sequential per-ball at m = n² is seconds per rep
+        } else {
+            3
+        };
+        specs.push(Spec {
+            proto: Box::new(OneChoice),
+            cfg,
+            reps,
+        });
+        specs.push(Spec {
+            proto: Box::new(GreedyD::new(2)),
+            cfg,
+            reps,
+        });
+    }
+
+    let threads = if serial { 1 } else { available_threads() };
+    let cells: Vec<Cell> = par_map(specs.len(), threads, |i| measure(&specs[i], seed));
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v2\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{\"threads\": {threads}, \"available_threads\": {}, \"rustc\": \"{}\"}},",
+        available_threads(),
+        rustc_version()
+    );
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"protocol\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"reps\": {}, \"wall_ms_mean\": {:.3}, \"samples_per_ball\": {:.6}, \
-             \"mballs_per_sec\": {:.3}}}",
+             \"reps\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_best\": {:.3}, \
+             \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}}}",
             c.protocol,
             c.engine,
             c.n,
             c.m,
             c.reps,
             c.wall_ms_mean,
+            c.wall_ms_best,
             c.samples_per_ball,
             c.mballs_per_sec
         );
@@ -119,15 +202,26 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
 
     // Human-readable echo.
-    println!("# wrote {out_path} ({} cells)", cells.len());
     println!(
-        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>14} {:>12}",
-        "protocol", "engine", "n", "m", "wall_ms", "samples/ball", "Mballs/s"
+        "# wrote {out_path} ({} cells, {} worker threads)",
+        cells.len(),
+        threads
+    );
+    println!(
+        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "protocol", "engine", "n", "m", "wall_mean", "wall_best", "samples/ball", "Mballs/s"
     );
     for c in &cells {
         println!(
-            "{:<12} {:>14} {:>8} {:>12} {:>12.3} {:>14.4} {:>12.2}",
-            c.protocol, c.engine, c.n, c.m, c.wall_ms_mean, c.samples_per_ball, c.mballs_per_sec
+            "{:<12} {:>14} {:>8} {:>12} {:>12.3} {:>12.3} {:>14.4} {:>12.2}",
+            c.protocol,
+            c.engine,
+            c.n,
+            c.m,
+            c.wall_ms_mean,
+            c.wall_ms_best,
+            c.samples_per_ball,
+            c.mballs_per_sec
         );
     }
 }

@@ -18,10 +18,12 @@ use bib_parallel::{replicate_outcomes, ReplicateSpec};
 
 fn main() {
     let args = ExpArgs::parse();
-    // 16× the pre-monomorphization top size. adaptive's stages are too
-    // short for level-batching to pay, so the sweep is inherently
-    // per-ball work; the faithful engine is its fastest (few retries at
-    // slack 1 — see BENCH_engines.json), making n = 2²¹ a few minutes.
+    // 16× the pre-monomorphization top size. Engine::Auto resolves the
+    // heavy cells to the occupancy-histogram engine (whose stage cost is
+    // independent of n — see BENCH_engines.json), replacing the old
+    // hardwired faithful default that made n = 2²¹ a few minutes; pass
+    // `--engine faithful` to reproduce the exact per-ball process when
+    // verifying the smoothness constants rather than sweeping them.
     let ns: Vec<usize> = args.pick(
         vec![
             1 << 14,
@@ -48,7 +50,7 @@ fn main() {
     let mut table = Table::new(vec!["n", "phi/n", "psi/n", "gap", "gap/log2(n)"]);
     for &n in &ns {
         let m = phi_load * n as u64;
-        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Faithful));
+        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
         let outs = replicate_outcomes(
             &Adaptive::paper(),
             &cfg,

@@ -9,8 +9,10 @@
 //! * `--quick` — shrink sizes/replicates for a fast smoke run;
 //! * `--seed <u64>` — master seed (default 2013);
 //! * `--reps <u64>` — override the replicate count;
-//! * `--engine <faithful|jump|level-batched>` — override the simulation
-//!   engine for threshold-style protocols;
+//! * `--engine <faithful|jump|level-batched|histogram|auto>` — override
+//!   the simulation engine (threshold-style protocols support all five;
+//!   `one-choice`/`greedy[d]` additionally understand `histogram` and
+//!   `auto`);
 //! * `--csv` — emit machine-readable CSV instead of an aligned table.
 
 #![forbid(unsafe_code)]
@@ -77,7 +79,7 @@ impl ExpArgs {
                 }
                 other => panic!(
                     "unknown flag {other}; supported: --quick --csv --seed <u64> --reps <u64> \
-                     --engine <faithful|jump|level-batched>"
+                     --engine <faithful|jump|level-batched|histogram|auto>"
                 ),
             }
         }

@@ -266,14 +266,25 @@ fn bench_json_smoke_writes_valid_json() {
         &["--smoke", "--out", path],
     );
     assert!(echo.contains("level-batched"));
+    assert!(echo.contains("histogram"));
     let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
-    assert!(json.contains("\"schema\": \"bib-bench/engines/v1\""));
-    // Full matrix: 3 sizes x 3 engines x 2 protocols.
-    assert_eq!(json.matches("\"protocol\"").count(), 18);
-    for engine in ["faithful", "jump", "level-batched"] {
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v2\""));
+    assert!(json.contains("\"host\""), "host metadata missing");
+    assert!(json.contains("\"threads\""), "thread count missing");
+    assert!(json.contains("\"rustc\""), "rustc version missing");
+    // Full matrix: 3 sizes x (4 engines + auto) x 2 protocols, plus the
+    // fixed-sample block at the heavy size: 2 protocols x 3 engines.
+    assert_eq!(json.matches("\"protocol\"").count(), 36);
+    for engine in ["faithful", "jump", "level-batched", "histogram", "auto"] {
         assert!(
             json.contains(&format!("\"engine\": \"{engine}\"")),
             "missing engine {engine}"
+        );
+    }
+    for protocol in ["one-choice", "greedy[2]"] {
+        assert!(
+            json.contains(&format!("\"protocol\": \"{protocol}\"")),
+            "missing fixed-sample protocol {protocol}"
         );
     }
     std::fs::remove_file(&out_path).ok();

@@ -1,0 +1,1248 @@
+//! The occupancy-histogram engine ([`Engine::Histogram`]).
+//!
+//! Every protocol this engine accepts is *symmetric*: bins with equal
+//! load are exchangeable, so the load vector carries no information
+//! beyond its histogram. The engine therefore collapses the bin
+//! dimension entirely — state is `counts[ℓ] = #bins with load ℓ` — and
+//! the per-round work drops from `O(n)` (the level-batched engine's
+//! open-bin list) to `O(#distinct loads)`, which the paper's smoothness
+//! results keep at `O(log n)`. On the heavy regimes of Lemma 4.2 and
+//! Corollary 3.5 (`m = n²` and beyond) the hot path becomes independent
+//! of `n`.
+//!
+//! # How a round works
+//!
+//! For threshold-style rules (uniform over bins with load `< t`) a
+//! *round* throws all `left` remaining balls at the open bins frozen at
+//! round start — exactly the level-batched argument: in the faithful
+//! sample stream these are the next `left` hits on the round-start open
+//! set, hits beyond a bin's remaining capacity are rejections, and the
+//! rejected overflow re-enters the next round. The difference is where
+//! the hits land:
+//!
+//! 1. the round's hits split over the occupancy *classes* with a chain
+//!    of conditional binomials (one draw per distinct load, not per
+//!    bin);
+//! 2. within a class of `c` exchangeable bins receiving `h` hits, the
+//!    per-bin hit multiplicities are resolved by `scatter_class`:
+//!    exactly for small classes (`c ≤ 64`: per-bin binomial chain) and
+//!    small intakes (`h ≤ 64`: per-hit collision walk), and for large
+//!    classes by *occupancy-cell sampling* — the number of bins with
+//!    exactly `j` hits is drawn as `Binomial(c_rem, pmf_j/tail_j)` of
+//!    the exact `Bin(h, 1/c)` marginal (an exact multinomial over that
+//!    marginal), followed by a proportional single-level repair of the
+//!    sum drift so mass conservation and the capacity bound hold
+//!    surely.
+//!
+//! Once fewer than a small cutoff of balls remain, the tail runs the
+//! *exact* collapsed Markov chain, one ball at a time: pick a class with
+//! probability proportional to its open-bin count, move one bin up a
+//! level.
+//!
+//! `greedy[d]` needs no rounds at all: order the bins by load and the
+//! least loaded of `d` uniform samples is the class containing the
+//! minimum of `d` uniform *ranks* — an exact `O(#levels)` per-ball chain
+//! that finally makes `greedy` runnable at `m = n²` scale. `one-choice`
+//! is the `t = ∞` threshold rule (no bin ever closes, a single round
+//! places everything).
+//!
+//! # What is and is not preserved
+//!
+//! *Final loads*: exact in distribution for `greedy[d]` at every size,
+//! for every per-ball tail, and for every scatter below the exact-path
+//! thresholds; the large-class cell sampling and the wide conditional
+//! splits (rounded-normal above a variance floor) are moment-exact
+//! approximations — expected cell counts sit at their exact marginals,
+//! mass conservation and the `⌈m/n⌉+1` capacity bound hold surely —
+//! whose residual error the chi-square suite in
+//! `tests/histogram_equivalence.rs` bounds against the faithful engine.
+//! *Bin identities*: synthetic — the histogram is assigned to bin
+//! indices through one uniform seeded permutation (the faithful law is
+//! exchangeable, so the reconstructed vector has the correct joint
+//! distribution to the extent the histogram does). *Total samples*: a
+//! CLT-faithful negative-binomial draw per round, exact geometrics on
+//! the tail, exactly `d·m` / `m` for `greedy[d]` / `one-choice`.
+//! *Per-ball events*: `Observer::on_ball` never fires; stage traces fire
+//! exactly when the observer wants them (segments cap at stage
+//! boundaries, like the level-batched driver).
+
+use crate::level_batched::{BatchStats, ThresholdSchedule};
+use crate::protocol::{Observer, Outcome, RunConfig};
+use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler};
+use bib_rng::{Rng64, RngExt};
+
+/// Below this many remaining balls a batched round stops paying for its
+/// fixed `O(#levels)` cost and the exact per-ball tail takes over.
+const ROUND_CUTOFF: u64 = 32;
+
+/// Classes with at most this many bins scatter their hits with an exact
+/// per-bin binomial chain, so small runs never touch the approximate
+/// cell sampling (the small-case equivalence tests rely on this).
+const EXACT_BINS: u64 = 64;
+
+/// Intakes of at most this many hits scatter with an exact per-hit
+/// collision walk when the class is small; for large classes the
+/// occupancy-cell walk is cheaper once the intake passes a few hits, so
+/// the per-hit path only covers intakes short enough to beat it.
+const EXACT_HITS: u64 = 64;
+
+/// Conditional-split binomials with variance `n·p·(1−p)` at or above
+/// this switch to a rounded-normal draw (mean exact, distributional
+/// error `O(1/√var)`, bias-free — validated by the chi-square suite),
+/// capping the `O(√var)` cost of the mode-centred inversion on the
+/// per-stage hot path.
+const SPLIT_NORMAL_VAR: f64 = 16.0;
+
+/// Exact-summation ceiling for the negative-binomial allocation-time
+/// draw of a round; larger rounds use the CLT limit. Lower than the
+/// level-batched engine's ceiling because this engine runs several
+/// small rounds per adaptive stage and their geometric sums would
+/// dominate the collapsed hot path.
+const SAMPLES_EXACT_CUTOFF: u64 = 32;
+
+/// The occupancy histogram: `count(ℓ)` bins currently hold exactly `ℓ`
+/// balls. Loads only grow, so the live span `[min_load, max_load]` only
+/// moves up; storage is a dense vector over the span with a sliding
+/// base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyHistogram {
+    /// `counts[i]` = number of bins with load `base + i`.
+    counts: Vec<u64>,
+    base: u32,
+    n: u64,
+}
+
+impl OccupancyHistogram {
+    /// `n` empty bins; panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "OccupancyHistogram: need at least one bin");
+        Self {
+            counts: vec![n as u64],
+            base: 0,
+            n: n as u64,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of bins with load exactly `l`.
+    pub fn count(&self, l: u32) -> u64 {
+        if l < self.base {
+            return 0;
+        }
+        self.counts
+            .get((l - self.base) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Smallest load with a non-zero count.
+    pub fn min_load(&self) -> u32 {
+        let lead = self.counts.iter().take_while(|&&c| c == 0).count();
+        self.base + lead as u32
+    }
+
+    /// Largest load with a non-zero count.
+    pub fn max_load(&self) -> u32 {
+        let trail = self.counts.iter().rev().take_while(|&&c| c == 0).count();
+        self.base + (self.counts.len() - trail) as u32 - 1
+    }
+
+    /// Number of bins with load strictly below `t` (`None` = all bins
+    /// are always open).
+    pub fn open_bins(&self, t: Option<u32>) -> u64 {
+        match t {
+            None => self.n,
+            Some(t) => {
+                if t <= self.base {
+                    return 0;
+                }
+                let hi = ((t - self.base) as usize).min(self.counts.len());
+                self.counts[..hi].iter().sum()
+            }
+        }
+    }
+
+    /// Total remaining capacity below `t`: `Σ_{ℓ<t} (t−ℓ)·count(ℓ)`.
+    pub fn capacity_below(&self, t: u32) -> u64 {
+        if t <= self.base {
+            return 0;
+        }
+        let hi = ((t - self.base) as usize).min(self.counts.len());
+        self.counts[..hi]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (t - self.base - i as u32) as u64 * c)
+            .sum()
+    }
+
+    /// Moves `bins` bins from load `l` up `levels` levels. A no-op when
+    /// either is zero.
+    pub fn promote(&mut self, l: u32, bins: u64, levels: u32) {
+        if bins == 0 || levels == 0 {
+            return;
+        }
+        let i = (l - self.base) as usize;
+        debug_assert!(self.counts[i] >= bins, "promote: class {l} underflow");
+        self.counts[i] -= bins;
+        let target_load = l + levels;
+        if (target_load - self.base) as usize >= self.counts.len() {
+            // Slide the base past the (now possibly empty) low end
+            // before growing, so the vector tracks the live span.
+            let lead = self.counts.iter().take_while(|&&c| c == 0).count();
+            self.counts.drain(..lead);
+            self.base += lead as u32;
+            if self.counts.is_empty() {
+                // Everything was in class `l`: restart the span at the
+                // target (the single-bin long-jump case).
+                self.base = target_load;
+            }
+            self.counts
+                .resize((target_load - self.base) as usize + 1, 0);
+        }
+        self.counts[(target_load - self.base) as usize] += bins;
+    }
+
+    /// All loads in ascending order (length `n`).
+    pub fn to_sorted_loads(&self) -> Vec<u32> {
+        let mut loads = Vec::with_capacity(self.n as usize);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let l = self.base + i as u32;
+            loads.extend(std::iter::repeat_n(l, c as usize));
+        }
+        debug_assert_eq!(loads.len() as u64, self.n);
+        loads
+    }
+
+    /// Internal consistency check (tests): bin count conserved.
+    pub fn check_invariants(&self) {
+        assert_eq!(
+            self.counts.iter().sum::<u64>(),
+            self.n,
+            "bins not conserved"
+        );
+    }
+}
+
+/// How the balls of one segment choose their landing class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandingRule {
+    /// Uniform among bins with load strictly below the bound (`None`
+    /// means every bin always accepts — the `one-choice` law). Sample
+    /// cost per ball is `Geometric(open/n)`.
+    UniformBelow(Option<u32>),
+    /// The least loaded of `d` uniform samples (`greedy[d]`; both
+    /// tie-break rules land in the same class). Sample cost per ball is
+    /// exactly `d`.
+    LeastOfD(u32),
+}
+
+/// One constant-rule segment of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSegment {
+    /// Landing law for every ball of the segment.
+    pub rule: LandingRule,
+    /// Inclusive index of the last ball sharing the rule.
+    pub end: u64,
+}
+
+/// A protocol the histogram engine can drive: its landing law is a
+/// function of the ball index alone, constant over contiguous segments.
+///
+/// Every [`ThresholdSchedule`] gets this for free (blanket impl below);
+/// `one-choice` and `greedy[d]` implement it directly with their fixed
+/// whole-run rules.
+pub trait HistogramSchedule {
+    /// The segment containing ball `ball` (1-based).
+    fn histogram_segment(&self, cfg: &RunConfig, ball: u64) -> HistogramSegment;
+}
+
+impl<S: ThresholdSchedule + ?Sized> HistogramSchedule for S {
+    fn histogram_segment(&self, cfg: &RunConfig, ball: u64) -> HistogramSegment {
+        HistogramSegment {
+            rule: LandingRule::UniformBelow(Some(self.bound(cfg, ball))),
+            end: self.segment_end(cfg, ball),
+        }
+    }
+}
+
+/// A standard-normal draw by inverting the CDF on one uniform
+/// (Acklam's rational approximation: relative error < 1.2e-9, full
+/// tails). One `next_f64` plus a handful of flops — an order of
+/// magnitude cheaper than Box–Muller on the per-stage hot path, where
+/// the split draws dominate the engine's runtime.
+#[allow(clippy::excessive_precision)] // coefficients verbatim from Acklam
+fn cheap_std_normal<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e1,
+        2.209460984245205e2,
+        -2.759285104469687e2,
+        1.383577518672690e2,
+        -3.066479806614716e1,
+        2.506628277459239e0,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e1,
+        1.615858368580409e2,
+        -1.556989798598866e2,
+        6.680131188771972e1,
+        -1.328068155288572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-3,
+        -3.223964580411365e-1,
+        -2.400758277161838e0,
+        -2.549732539343734e0,
+        4.374664141464968e0,
+        2.938163982698783e0,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-3,
+        3.224671290700398e-1,
+        2.445134137142996e0,
+        3.754408661907416e0,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let p = rng.next_f64().clamp(f64::MIN_POSITIVE, 1.0 - 1e-16);
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// `Binomial(n, p)` for the wide conditional splits: exact while the
+/// variance is moderate, rounded-normal (clamped to the support) above
+/// [`SPLIT_NORMAL_VAR`].
+fn split_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let var = n as f64 * p * (1.0 - p);
+    if var < SPLIT_NORMAL_VAR {
+        return BinomialSampler::new(n, p).sample(rng);
+    }
+    let draw = (n as f64 * p + var.sqrt() * cheap_std_normal(rng)).round();
+    // f64 → u64 saturates at 0 below; clamp the high side to n.
+    (draw as u64).min(n)
+}
+
+/// Total uniform-stream samples consumed to obtain `hits` hits on an
+/// accepting set of probability `p`: the level-batched engine's
+/// negative-binomial construction at this engine's exact-sum ceiling.
+fn round_samples<R: Rng64 + ?Sized>(hits: u64, p: f64, rng: &mut R) -> u64 {
+    crate::level_batched::stream_samples_for_hits_bounded(hits, p, SAMPLES_EXACT_CUTOFF, rng)
+}
+
+/// Scatters `h` uniform hits over one occupancy class of `c`
+/// exchangeable bins at load `l`, each with remaining capacity `cap`
+/// (`None` = unbounded), updating the histogram and returning the
+/// number of balls kept (the rest is overflow for the next round).
+fn scatter_class<R: Rng64 + ?Sized>(
+    hist: &mut OccupancyHistogram,
+    l: u32,
+    c: u64,
+    h: u64,
+    cap: Option<u32>,
+    hit_scratch: &mut Vec<u64>,
+    rng: &mut R,
+) -> u64 {
+    debug_assert!(c > 0);
+    if h == 0 {
+        return 0;
+    }
+    let keep_of = |hits: u64| -> u64 { cap.map_or(hits, |q| hits.min(q as u64)) };
+    if c == 1 {
+        let keep = keep_of(h);
+        hist.promote(l, 1, keep as u32);
+        return keep;
+    }
+    if h <= EXACT_HITS {
+        // Exact per-hit collision walk: each hit lands on a specific
+        // already-hit bin w.p. 1/c, so indexing the hit bins 0.. and
+        // drawing a uniform in 0..c reproduces the multinomial exactly.
+        let hit_counts = hit_scratch;
+        hit_counts.clear();
+        for _ in 0..h {
+            let r = rng.range_u64(c);
+            if (r as usize) < hit_counts.len() {
+                hit_counts[r as usize] += 1;
+            } else {
+                hit_counts.push(1);
+            }
+        }
+        // Group the promotes by jump size: most hit bins share a small
+        // keep count, and one grouped promote per distinct jump beats a
+        // per-bin promote on the hot path.
+        let mut kept = 0u64;
+        let mut jumps = [0u64; 8];
+        for &x in hit_counts.iter() {
+            let keep = keep_of(x);
+            kept += keep;
+            if keep > 0 && (keep as usize) < jumps.len() {
+                jumps[keep as usize] += 1;
+            } else if keep > 0 {
+                hist.promote(l, 1, keep as u32);
+            }
+        }
+        for (jump, &bins) in jumps.iter().enumerate().skip(1) {
+            hist.promote(l, bins, jump as u32);
+        }
+        return kept;
+    }
+    if c <= EXACT_BINS {
+        // Exact multinomial as a chain of per-bin conditional binomials.
+        let mut rem_h = h;
+        let mut kept = 0u64;
+        let mut jumps = [0u64; 8];
+        for i in 0..c {
+            if rem_h == 0 {
+                break;
+            }
+            let rem_bins = c - i;
+            let x = if rem_bins == 1 {
+                rem_h
+            } else {
+                BinomialSampler::new(rem_h, 1.0 / rem_bins as f64).sample(rng)
+            };
+            rem_h -= x;
+            let keep = keep_of(x);
+            kept += keep;
+            if keep > 0 && (keep as usize) < jumps.len() {
+                jumps[keep as usize] += 1;
+            } else if keep > 0 {
+                hist.promote(l, 1, keep as u32);
+            }
+        }
+        for (jump, &bins) in jumps.iter().enumerate().skip(1) {
+            hist.promote(l, bins, jump as u32);
+        }
+        return kept;
+    }
+
+    // Occupancy-cell sampling. Each bin's hit count is marginally
+    // `Bin(h, 1/c)`; drawing cell `j` as `Binomial(c_rem, pmf_j/tail_j)`
+    // makes `(N_0, N_1, …)` an exact multinomial over that marginal —
+    // the occupancy of `c` *independent* `Bin(h, 1/c)` counts. The
+    // neglected negative correlation (the true counts sum to `h`
+    // exactly) appears as a small drift of `Σ j·N_j` around `h`; the
+    // repair below moves bins between *adjacent* cells at the
+    // distribution's mode, where a one-level shift is deep inside the
+    // bulk — truncating or padding the tail instead would visibly
+    // distort max-load statistics. Residual error is `O(1/c)` on second
+    // moments, and only this path (`c > 64`, `h > 64`) carries it.
+    let cells = hit_scratch;
+    cells.clear();
+    let mut c_rem = c;
+    let mut lump = 0u64; // capped classes: bins with ≥ q hits, keep q each
+                         // pmf of Bin(h, 1/c) at j, advanced by the recurrence
+                         // pmf(j+1) = pmf(j) · (h−j) / ((j+1)·(c−1)). The heavy regimes
+                         // start with pmf(0) = (1−1/c)^h in deep underflow, so the walk
+                         // carries the pmf in log space until it surfaces, then switches to
+                         // the two-flop linear recurrence for the bulk of the levels.
+                         // (1−1/c)^h: powi while it stays in normal range (the common case),
+                         // the log-space recurrence start otherwise.
+    let mut pmf = if h <= i32::MAX as u64 {
+        (1.0 - 1.0 / c as f64).powi(h as i32)
+    } else {
+        0.0
+    };
+    let mut log_mode = pmf < 1e-290;
+    let mut ln_pmf = if log_mode {
+        h as f64 * (-1.0 / c as f64).ln_1p()
+    } else {
+        0.0
+    };
+    if log_mode {
+        pmf = ln_pmf.exp();
+    }
+    let mut tail = 1.0f64; // P(X ≥ j)
+    while c_rem > 0 {
+        let j = cells.len() as u64;
+        if cap.is_some_and(|q| q as u64 == j) {
+            lump = c_rem;
+            break;
+        }
+        if j >= h || tail < 1e-12 {
+            // The walked tail mass is numerically exhausted; park the
+            // stragglers at the current level (the repair below keeps
+            // total mass exact).
+            cells.push(c_rem);
+            break;
+        }
+        let hazard = if tail <= pmf {
+            1.0
+        } else {
+            (pmf / tail).clamp(0.0, 1.0)
+        };
+        let nj = if hazard == 0.0 {
+            0
+        } else {
+            split_binomial(c_rem, hazard, rng)
+        };
+        cells.push(nj);
+        c_rem -= nj;
+        tail = (tail - pmf).max(0.0);
+        let num = (h - j) as f64;
+        let den = (j + 1) as f64 * (c - 1) as f64;
+        if log_mode {
+            ln_pmf += num.ln() - den.ln();
+            pmf = ln_pmf.exp();
+            log_mode = pmf < 1e-290;
+        } else {
+            pmf *= num / den;
+        }
+    }
+
+    let consumed = |cells: &[u64], lump: u64| -> u64 {
+        let q = cap.map_or(0, |q| q as u64);
+        cells
+            .iter()
+            .enumerate()
+            .map(|(j, &nj)| j as u64 * nj)
+            .sum::<u64>()
+            + q * lump
+    };
+    // Repair target. Unbounded classes keep every ball, so the cells
+    // must consume exactly `h`. Capped classes keep
+    // `h − Σ_bins (X−q)⁺`; the cells only resolve hit counts up to the
+    // lump, so the overflow is estimated as `lump · E[(X−q)⁺ | X ≥ q]`
+    // from the same pmf recurrence (conditioning on the *drawn* lump
+    // keeps the estimate consistent: no capped bin ⇒ no overflow,
+    // surely). Repairing toward the target in *both* directions is what
+    // keeps the re-throw mass unbiased — clipping only the impossible
+    // `consumed > h` side would systematically inflate the overflow by
+    // the positive part of the drift, which showed up as a ~1% excess
+    // in allocation time before this estimate existed.
+    let target = match cap {
+        None => h,
+        Some(q) => {
+            if lump == 0 {
+                h // no bin reached the cap: every ball was kept, surely
+            } else {
+                // E[(X−q)⁺ | X ≥ q]: extend the recurrence past the cap
+                // (pure float work, no draws). `pmf`/`tail` sit at j = q
+                // when the lump branch exits the cell loop.
+                let lambda = h as f64 / c as f64;
+                let mut e_tail = 0.0f64;
+                let mut p = pmf;
+                let mut jj = q as u64;
+                while jj < h {
+                    let num = (h - jj) as f64;
+                    let den = (jj + 1) as f64 * (c - 1) as f64;
+                    p *= num / den;
+                    jj += 1;
+                    let term = (jj - q as u64) as f64 * p;
+                    e_tail += term;
+                    if jj as f64 > lambda && term < 1e-5 * (1.0 + e_tail) {
+                        break;
+                    }
+                }
+                let e_cond = if tail > 1e-12 { e_tail / tail } else { 0.0 };
+                let overflow_est = (lump as f64 * e_cond).round() as u64;
+                h - overflow_est.min(h)
+            }
+        }
+    };
+    // A capped class can physically hold at most c·q (rescues the
+    // λ ≫ q corner where the pmf extension underflows).
+    let target = target.min(cap.map_or(u64::MAX, |q| c.saturating_mul(q as u64)));
+    // Repair the drift with single-level moves apportioned
+    // *proportionally* over the donor cells (a conditional-binomial
+    // chain, like the intake splits): every bin is equally likely to be
+    // the one nudged, so no cell — in particular not the N₀ cell, which
+    // the untouched-bin statistics read — absorbs the correction
+    // preferentially, and the expected cell counts stay at their exact
+    // marginals.
+    let mut d = consumed(cells, lump) as i128 - target as i128;
+    while d > 0 {
+        let lump_size = if cap.is_some() { lump } else { 0 };
+        let mut pool: u64 = cells[1..].iter().sum::<u64>() + lump_size;
+        debug_assert!(pool > 0, "occupancy repair: no donors above the target");
+        if pool == 0 {
+            break;
+        }
+        let mut want = (d as u128).min(pool as u128) as u64;
+        d -= want as i128;
+        if want <= 64 {
+            // The typical drift is a handful of balls: single moves with
+            // one uniform donor pick each (still ∝ cell sizes) beat the
+            // binomial-chain pass by an order of magnitude.
+            while want > 0 {
+                let mut r = rng.range_u64(pool);
+                let mut placed = false;
+                for i in 1..cells.len() {
+                    if r < cells[i] {
+                        cells[i] -= 1;
+                        cells[i - 1] += 1;
+                        placed = true;
+                        break;
+                    }
+                    r -= cells[i];
+                }
+                if !placed {
+                    debug_assert!(lump > 0);
+                    lump -= 1;
+                    let q = cap.unwrap() as usize;
+                    if cells.len() < q {
+                        cells.resize(q, 0);
+                    }
+                    cells[q - 1] += 1;
+                }
+                pool -= 1;
+                want -= 1;
+            }
+            continue;
+        }
+        // Ascending apply is safe: cell i−1 has already donated before
+        // it receives from cell i.
+        for i in 1..cells.len() {
+            if want == 0 {
+                break;
+            }
+            let mi = if pool == cells[i] {
+                want
+            } else {
+                split_binomial(want, cells[i] as f64 / pool as f64, rng)
+            }
+            .min(cells[i]);
+            pool -= cells[i];
+            cells[i] -= mi;
+            cells[i - 1] += mi;
+            want -= mi;
+        }
+        if want > 0 && lump_size > 0 {
+            // The remainder was apportioned to the ≥q lump.
+            let q = cap.unwrap() as usize;
+            let mi = want.min(lump);
+            lump -= mi;
+            if cells.len() < q {
+                cells.resize(q, 0);
+            }
+            cells[q - 1] += mi;
+            want -= mi;
+        }
+        if want > 0 {
+            // A pass can stall on clamped draws; finish the remainder
+            // from the fullest donor so the loop surely terminates.
+            if let Some(i) = (1..cells.len())
+                .filter(|&i| cells[i] > 0)
+                .max_by_key(|&i| cells[i])
+            {
+                let mi = want.min(cells[i]);
+                cells[i] -= mi;
+                cells[i - 1] += mi;
+                want -= mi;
+            }
+        }
+        d += want as i128; // anything unplaceable goes back into the deficit
+    }
+    while d < 0 {
+        let mut pool: u64 = cells.iter().sum();
+        if pool == 0 {
+            break; // everything already sits at the cap lump
+        }
+        let mut want = ((-d) as u128).min(pool as u128) as u64;
+        d += want as i128;
+        if want <= 64 {
+            // Single-move fast path, mirroring the down-move repair.
+            while want > 0 {
+                let mut r = rng.range_u64(pool);
+                for i in 0..cells.len() {
+                    if r < cells[i] {
+                        cells[i] -= 1;
+                        if cap.is_some_and(|q| i as u32 + 1 == q) {
+                            lump += 1;
+                        } else {
+                            if i + 1 == cells.len() {
+                                cells.push(0);
+                            }
+                            cells[i + 1] += 1;
+                        }
+                        break;
+                    }
+                    r -= cells[i];
+                }
+                pool -= 1;
+                want -= 1;
+            }
+            continue;
+        }
+        // Descending apply: cell i+1 has already donated before it
+        // receives from cell i. For capped classes the move out of cell
+        // q−1 lands in the ≥q lump (one more kept ball each, same as
+        // any other single-level move).
+        for i in (0..cells.len()).rev() {
+            if want == 0 {
+                break;
+            }
+            pool -= cells[i];
+            let mi = if pool == 0 {
+                want
+            } else {
+                split_binomial(want, cells[i] as f64 / (pool + cells[i]) as f64, rng)
+            }
+            .min(cells[i]);
+            if mi > 0 {
+                cells[i] -= mi;
+                if cap.is_some_and(|q| i as u32 + 1 == q) {
+                    lump += mi;
+                } else {
+                    if i + 1 == cells.len() {
+                        cells.push(0);
+                    }
+                    cells[i + 1] += mi;
+                }
+                want -= mi;
+            }
+        }
+        if want > 0 {
+            // Stalled-pass fallback, mirroring the down-move repair.
+            if let Some(i) = (0..cells.len())
+                .filter(|&i| cells[i] > 0)
+                .max_by_key(|&i| cells[i])
+            {
+                let mi = want.min(cells[i]);
+                cells[i] -= mi;
+                if cap.is_some_and(|q| i as u32 + 1 == q) {
+                    lump += mi;
+                } else {
+                    if i + 1 == cells.len() {
+                        cells.push(0);
+                    }
+                    cells[i + 1] += mi;
+                }
+                want -= mi;
+            }
+        }
+        d -= want as i128;
+    }
+
+    let mut kept = 0u64;
+    for (j, &nj) in cells.iter().enumerate() {
+        kept += j as u64 * nj;
+        hist.promote(l, nj, j as u32);
+    }
+    if lump > 0 {
+        let q = cap.unwrap();
+        kept += q as u64 * lump;
+        hist.promote(l, lump, q);
+    }
+    debug_assert!(kept <= h);
+    kept
+}
+
+/// One batched round: throws `thrown` balls uniformly over the bins
+/// open under `t` at round start, splitting the intake across occupancy
+/// classes with conditional binomials. Returns the number of balls kept
+/// (the overflow re-enters the caller's loop).
+fn round_uniform<R: Rng64 + ?Sized>(
+    hist: &mut OccupancyHistogram,
+    t: Option<u32>,
+    thrown: u64,
+    scratch: &mut Vec<(u32, u64)>,
+    hit_scratch: &mut Vec<u64>,
+    rng: &mut R,
+) -> u64 {
+    // Snapshot the open classes: scatters promote bins upward into
+    // classes not yet visited, and the split must use round-start sizes.
+    scratch.clear();
+    let mut k = 0u64;
+    for (i, &c) in hist.counts.iter().enumerate() {
+        let l = hist.base + i as u32;
+        if let Some(t) = t {
+            if l >= t {
+                break;
+            }
+        }
+        if c > 0 {
+            scratch.push((l, c));
+            k += c;
+        }
+    }
+    debug_assert!(k > 0, "round_uniform: no open bin");
+    let mut rem_hits = thrown;
+    let mut rem_bins = k;
+    let mut kept = 0u64;
+    for &(l, c) in scratch.iter() {
+        if rem_hits == 0 {
+            break;
+        }
+        let h = if rem_bins == c {
+            rem_hits
+        } else {
+            split_binomial(rem_hits, c as f64 / rem_bins as f64, rng)
+        };
+        rem_hits -= h;
+        rem_bins -= c;
+        let cap = t.map(|t| t - l);
+        kept += scatter_class(hist, l, c, h, cap, hit_scratch, rng);
+    }
+    kept
+}
+
+/// Places `count` balls under the uniform-below-`t` rule (`None` = the
+/// `one-choice` law), batched by occupancy class. Panics if no bin is
+/// open or `count` exceeds the remaining capacity below `t` (either
+/// indicates a threshold bug, mirroring the other engines).
+pub fn place_histogram_below<R: Rng64 + ?Sized>(
+    hist: &mut OccupancyHistogram,
+    t: Option<u32>,
+    count: u64,
+    rng: &mut R,
+) -> BatchStats {
+    place_histogram_below_with(hist, t, count, &mut Vec::new(), &mut Vec::new(), rng)
+}
+
+/// [`place_histogram_below`] with caller-owned scratch buffers, so a
+/// driver placing one segment per stage reuses the same allocations for
+/// the whole run.
+fn place_histogram_below_with<R: Rng64 + ?Sized>(
+    hist: &mut OccupancyHistogram,
+    t: Option<u32>,
+    count: u64,
+    scratch: &mut Vec<(u32, u64)>,
+    hit_scratch: &mut Vec<u64>,
+    rng: &mut R,
+) -> BatchStats {
+    if count == 0 {
+        return BatchStats {
+            samples: 0,
+            max_samples_per_ball: 0,
+        };
+    }
+    let n = hist.n;
+    if let Some(t) = t {
+        assert!(
+            hist.open_bins(Some(t)) > 0,
+            "place_histogram_below: no bin has load < {t}"
+        );
+        let capacity = hist.capacity_below(t);
+        assert!(
+            count <= capacity,
+            "place_histogram_below: {count} balls exceed the remaining capacity {capacity} \
+             below {t}"
+        );
+    }
+
+    let mut left = count;
+    let mut samples = 0u64;
+    while left >= ROUND_CUTOFF {
+        let k = hist.open_bins(t);
+        samples += round_samples(left, k as f64 / n as f64, rng);
+        let kept = round_uniform(hist, t, left, scratch, hit_scratch, rng);
+        debug_assert!(kept > 0, "a round with open capacity must place something");
+        if kept == 0 {
+            break; // defensive: the exact tail below is always correct
+        }
+        left -= kept;
+    }
+
+    let mut max_samples = u64::from(count > left);
+    // Exact per-ball tail on the collapsed chain: class ∝ open count.
+    let mut k = hist.open_bins(t);
+    let mut geo: Option<(u64, GeometricSampler)> = None;
+    while left > 0 {
+        debug_assert!(k > 0);
+        let s = if k == n {
+            1
+        } else {
+            // The sampler caches ln(1−p); rebuild only when k changes
+            // (a bin closed), not per ball.
+            let g = match &geo {
+                Some((gk, g)) if *gk == k => *g,
+                _ => {
+                    let g = GeometricSampler::new(k as f64 / n as f64);
+                    geo = Some((k, g));
+                    g
+                }
+            };
+            g.sample(rng)
+        };
+        samples += s;
+        max_samples = max_samples.max(s);
+        // CDF walk from the top open class downward: under a threshold
+        // rule the mass piles up just below the bound, so the reversed
+        // walk terminates after a couple of classes.
+        let mut r = rng.range_u64(k);
+        let top = match t {
+            Some(t) => ((t - hist.base) as usize).min(hist.counts.len()),
+            None => hist.counts.len(),
+        };
+        let mut chosen = hist.base;
+        for i in (0..top).rev() {
+            let c = hist.counts[i];
+            if r < c {
+                chosen = hist.base + i as u32;
+                break;
+            }
+            r -= c;
+        }
+        hist.promote(chosen, 1, 1);
+        if t == Some(chosen + 1) {
+            k -= 1;
+        }
+        left -= 1;
+    }
+
+    BatchStats {
+        samples,
+        max_samples_per_ball: max_samples,
+    }
+}
+
+/// Places `count` balls under the `greedy[d]` law, exactly: order the
+/// bins ascending by load and the least loaded of `d` uniform samples
+/// (with replacement) is the class containing the minimum of `d`
+/// uniform ranks; within the class the receiving bin is exchangeable,
+/// and both tie-break rules collapse to the same class choice.
+pub fn place_least_of_d<R: Rng64 + ?Sized>(
+    hist: &mut OccupancyHistogram,
+    d: u32,
+    count: u64,
+    rng: &mut R,
+) -> BatchStats {
+    debug_assert!(d >= 1);
+    let n = hist.n;
+    for _ in 0..count {
+        let mut r = rng.range_u64(n);
+        for _ in 1..d {
+            r = r.min(rng.range_u64(n));
+        }
+        let mut chosen = hist.base;
+        for (i, &c) in hist.counts.iter().enumerate() {
+            if r < c {
+                chosen = hist.base + i as u32;
+                break;
+            }
+            r -= c;
+        }
+        hist.promote(chosen, 1, 1);
+    }
+    BatchStats {
+        samples: count * d as u64,
+        max_samples_per_ball: if count > 0 { d as u64 } else { 0 },
+    }
+}
+
+/// A uniform random permutation of `0..n` (Fisher–Yates).
+fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.range_usize(i + 1));
+    }
+    perm
+}
+
+/// Assigns the histogram's sorted loads to bin indices through `perm`.
+fn materialize(hist: &OccupancyHistogram, perm: &[u32]) -> Vec<u32> {
+    let sorted = hist.to_sorted_loads();
+    let mut loads = vec![0u32; perm.len()];
+    for (i, &l) in sorted.iter().enumerate() {
+        loads[perm[i] as usize] = l;
+    }
+    loads
+}
+
+/// Runs a whole allocation under [`Engine::Histogram`]: walks the
+/// schedule's constant-rule segments and places each with the batched
+/// class machinery. Bin identities are synthetic — one uniform seeded
+/// permutation, drawn up front, maps sorted loads to indices for stage
+/// traces and the final outcome alike (the per-bin marginal law is
+/// exact because the faithful process is exchangeable).
+///
+/// [`Engine::Histogram`]: crate::protocol::Engine::Histogram
+pub fn drive_histogram<S, R, O>(
+    name: String,
+    cfg: &RunConfig,
+    rng: &mut R,
+    obs: &mut O,
+    schedule: &S,
+) -> Outcome
+where
+    S: HistogramSchedule + ?Sized,
+    R: Rng64 + ?Sized,
+    O: Observer + ?Sized,
+{
+    let n64 = cfg.n as u64;
+    let mut hist = OccupancyHistogram::new(cfg.n);
+    let perm = random_permutation(cfg.n, rng);
+    let mut total_samples = 0u64;
+    let mut max_samples = 0u64;
+    let want_stages = obs.wants_stage_ends();
+    let mut scratch: Vec<(u32, u64)> = Vec::new();
+    let mut hit_scratch: Vec<u64> = Vec::new();
+    let mut ball = 1u64;
+    while ball <= cfg.m {
+        let seg = schedule.histogram_segment(cfg, ball);
+        let mut end = seg.end.min(cfg.m);
+        debug_assert!(end >= ball, "segment end must not precede its ball");
+        if want_stages {
+            end = end.min(((ball - 1) / n64 + 1) * n64);
+        }
+        let count = end - ball + 1;
+        let stats = match seg.rule {
+            LandingRule::UniformBelow(t) => {
+                place_histogram_below_with(&mut hist, t, count, &mut scratch, &mut hit_scratch, rng)
+            }
+            LandingRule::LeastOfD(d) => place_least_of_d(&mut hist, d, count, rng),
+        };
+        total_samples += stats.samples;
+        max_samples = max_samples.max(stats.max_samples_per_ball);
+        if want_stages && end.is_multiple_of(n64) {
+            obs.on_stage_end(end / n64, &materialize(&hist, &perm), end);
+        }
+        ball = end + 1;
+    }
+    if want_stages && cfg.m > 0 && !cfg.m.is_multiple_of(n64) {
+        obs.on_stage_end(cfg.m / n64 + 1, &materialize(&hist, &perm), cfg.m);
+    }
+    Outcome {
+        protocol: name,
+        n: cfg.n,
+        m: cfg.m,
+        total_samples,
+        max_samples_per_ball: max_samples,
+        loads: materialize(&hist, &perm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_rng::SplitMix64;
+
+    fn total_balls(h: &OccupancyHistogram) -> u64 {
+        h.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (h.base + i as u32) as u64 * c)
+            .sum()
+    }
+
+    #[test]
+    fn histogram_promote_and_queries() {
+        let mut h = OccupancyHistogram::new(10);
+        assert_eq!(h.count(0), 10);
+        assert_eq!(h.open_bins(Some(1)), 10);
+        assert_eq!(h.open_bins(None), 10);
+        assert_eq!(h.capacity_below(3), 30);
+        h.promote(0, 4, 1);
+        h.promote(0, 1, 5);
+        h.check_invariants();
+        assert_eq!(h.count(0), 5);
+        assert_eq!(h.count(1), 4);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.min_load(), 0);
+        assert_eq!(h.max_load(), 5);
+        assert_eq!(h.open_bins(Some(1)), 5);
+        assert_eq!(h.open_bins(Some(2)), 9);
+        assert_eq!(h.capacity_below(2), 2 * 5 + 4);
+        assert_eq!(total_balls(&h), 9);
+    }
+
+    #[test]
+    fn histogram_base_slides_on_long_jumps() {
+        // A single bin jumping far ahead must not blow up the dense span.
+        let mut h = OccupancyHistogram::new(1);
+        h.promote(0, 1, 1_000_000);
+        h.check_invariants();
+        assert_eq!(h.min_load(), 1_000_000);
+        assert_eq!(h.max_load(), 1_000_000);
+        assert!(h.counts.len() < 8, "span not compacted: {}", h.counts.len());
+        h.promote(1_000_000, 1, 3);
+        assert_eq!(h.count(1_000_003), 1);
+    }
+
+    #[test]
+    fn sorted_loads_round_trip() {
+        let mut h = OccupancyHistogram::new(5);
+        h.promote(0, 2, 2);
+        h.promote(0, 1, 1);
+        assert_eq!(h.to_sorted_loads(), vec![0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn scatter_conserves_mass_in_every_path() {
+        // (c, h) pairs chosen to hit: single bin, per-hit, per-bin
+        // chain, and the hazard walk.
+        for (c, h, cap) in [
+            (1u64, 1000u64, Some(7u32)),
+            (100, 50, Some(3)),
+            (50, 5000, Some(4)),
+            (1000, 5000, Some(2)),
+            (1000, 5000, None),
+            (300, 100_000, Some(400)),
+        ] {
+            let mut hist = OccupancyHistogram::new(c as usize);
+            let mut rng = SplitMix64::new(c ^ h);
+            let kept = scatter_class(&mut hist, 0, c, h, cap, &mut Vec::new(), &mut rng);
+            hist.check_invariants();
+            assert!(kept <= h, "c={c} h={h}: kept {kept} > thrown {h}");
+            assert!(kept >= 1);
+            assert_eq!(total_balls(&hist), kept, "c={c} h={h}");
+            if let Some(q) = cap {
+                assert!(hist.max_load() <= q, "c={c} h={h}: cap violated");
+                assert!(kept <= c * q as u64);
+            } else {
+                assert_eq!(kept, h, "unbounded scatter must keep everything");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_hazard_mean_matches_exact_path() {
+        // Number of untouched bins after h hits on c bins: the hazard
+        // walk's level-0 count must agree in mean with the exact
+        // per-bin chain, c·(1−1/c)^h.
+        let (c, h) = (500u64, 800u64);
+        let reps = 600;
+        let expect = c as f64 * (1.0 - 1.0 / c as f64).powi(h as i32);
+        let mut rng = SplitMix64::new(9);
+        let mut mean = 0.0;
+        for _ in 0..reps {
+            let mut hist = OccupancyHistogram::new(c as usize);
+            scatter_class(&mut hist, 0, c, h, None, &mut Vec::new(), &mut rng);
+            mean += hist.count(0) as f64 / reps as f64;
+        }
+        // sd of the estimator ≈ √(c·p(1−p)/reps) ≈ 0.4
+        assert!(
+            (mean - expect).abs() < 2.5,
+            "untouched-bin mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn place_below_fills_exact_capacity() {
+        let mut hist = OccupancyHistogram::new(16);
+        let mut rng = SplitMix64::new(1);
+        let stats = place_histogram_below(&mut hist, Some(3), 48, &mut rng);
+        assert_eq!(hist.count(3), 16);
+        assert!(stats.samples >= 48);
+    }
+
+    #[test]
+    fn place_below_unbounded_is_one_sample_per_ball() {
+        let mut hist = OccupancyHistogram::new(32);
+        let mut rng = SplitMix64::new(2);
+        let stats = place_histogram_below(&mut hist, None, 10_000, &mut rng);
+        hist.check_invariants();
+        assert_eq!(stats.samples, 10_000, "one-choice wastes no samples");
+        assert_eq!(total_balls(&hist), 10_000);
+    }
+
+    #[test]
+    fn place_below_single_bin_exact() {
+        let mut hist = OccupancyHistogram::new(1);
+        let mut rng = SplitMix64::new(3);
+        let stats = place_histogram_below(&mut hist, Some(1000), 1000, &mut rng);
+        assert_eq!(hist.count(1000), 1);
+        assert_eq!(stats.samples, 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn place_below_rejects_over_capacity() {
+        let mut hist = OccupancyHistogram::new(2);
+        let mut rng = SplitMix64::new(4);
+        place_histogram_below(&mut hist, Some(2), 5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn place_below_rejects_impossible_threshold() {
+        let mut hist = OccupancyHistogram::new(2);
+        hist.promote(0, 2, 2);
+        let mut rng = SplitMix64::new(5);
+        place_histogram_below(&mut hist, Some(1), 1, &mut rng);
+    }
+
+    #[test]
+    fn place_below_mass_and_bound_across_scales() {
+        for (n, count, t) in [
+            (8u64, 700u64, 100u32),
+            (64, 10_000, 200),
+            (500, 40_000, 100),
+        ] {
+            let mut hist = OccupancyHistogram::new(n as usize);
+            let mut rng = SplitMix64::new(count);
+            let stats = place_histogram_below(&mut hist, Some(t), count, &mut rng);
+            hist.check_invariants();
+            assert_eq!(total_balls(&hist), count, "n={n}");
+            assert!(hist.max_load() <= t);
+            assert!(stats.samples >= count);
+        }
+    }
+
+    #[test]
+    fn least_of_d_prefers_low_classes() {
+        // With loads split 0/1, greedy[2] hits the empty class with
+        // probability 1 − (1/2)² = 3/4.
+        let n = 1000u64;
+        let mut hist = OccupancyHistogram::new(n as usize);
+        hist.promote(0, n / 2, 1);
+        let mut rng = SplitMix64::new(6);
+        let balls = 10_000u64;
+        let stats = place_least_of_d(&mut hist, 2, balls, &mut rng);
+        assert_eq!(stats.samples, 2 * balls);
+        hist.check_invariants();
+        assert_eq!(total_balls(&hist), balls + n / 2);
+        // Two choices keep the spread tight: with 10.5 balls/bin on
+        // average the max−min gap sits around 7 (measured against the
+        // sequential greedy[2] at this size) — far below one-choice's.
+        assert!(hist.min_load() >= 1, "greedy should fill the empty class");
+        assert!(
+            hist.max_load() - hist.min_load() <= 12,
+            "greedy[2] gap blew up"
+        );
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mut rng = SplitMix64::new(7);
+        let p = random_permutation(257, &mut rng);
+        let mut seen = vec![false; 257];
+        for &i in &p {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        // Not the identity (probability 1/257! of a false failure).
+        assert!(p.iter().enumerate().any(|(i, &v)| i as u32 != v));
+    }
+
+    #[test]
+    fn split_binomial_moments_across_regimes() {
+        let mut rng = SplitMix64::new(8);
+        for (n, p) in [(100u64, 0.3f64), (1_000_000, 0.25)] {
+            let reps = 3000;
+            let xs: Vec<f64> = (0..reps)
+                .map(|_| split_binomial(n, p, &mut rng) as f64)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / reps as f64;
+            let expect = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (mean - expect).abs() < 4.0 * sd / (reps as f64).sqrt(),
+                "n={n}: mean {mean} vs {expect}"
+            );
+            assert!(xs.iter().all(|&x| x >= 0.0 && x <= n as f64));
+        }
+        assert_eq!(split_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(split_binomial(10, 1.0, &mut rng), 10);
+    }
+}

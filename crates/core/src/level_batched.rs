@@ -40,6 +40,7 @@
 //! `max_samples_per_ball` only reflects the per-ball tail. Use
 //! `Faithful`/`Jump` when per-ball traces matter.
 
+use crate::partitioned::PartitionedBins;
 use crate::protocol::{drive_sequential, Engine, Observer, Outcome, Protocol, RunConfig};
 use crate::sampler::place_below;
 use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler, Normal};
@@ -80,16 +81,24 @@ fn batch_cutoff(k0: usize) -> u64 {
 /// Draws the total number of uniform bin samples needed to obtain
 /// `hits` hits in an accepting set of probability `p` — a sum of `hits`
 /// geometrics, i.e. `hits + NegativeBinomial(hits, p)` failures. Exact
-/// summation for small `hits`; rounded CLT draw (mean `hits/p`,
-/// variance `hits·(1−p)/p²`) beyond, clamped to the support `≥ hits`.
-fn stream_samples_for_hits<R: Rng64 + ?Sized>(hits: u64, p: f64, rng: &mut R) -> u64 {
+/// summation up to `exact_cutoff` hits; rounded CLT draw (mean
+/// `hits/p`, variance `hits·(1−p)/p²`) beyond, clamped to the support
+/// `≥ hits`. Shared by this engine (cutoff 4096) and the histogram
+/// engine (cutoff 32 — it prices one round per adaptive stage, where
+/// long geometric sums would dominate the collapsed hot path).
+pub(crate) fn stream_samples_for_hits_bounded<R: Rng64 + ?Sized>(
+    hits: u64,
+    p: f64,
+    exact_cutoff: u64,
+    rng: &mut R,
+) -> u64 {
     if hits == 0 {
         return 0;
     }
     if p >= 1.0 {
         return hits;
     }
-    if hits <= 4096 {
+    if hits <= exact_cutoff {
         let g = GeometricSampler::new(p);
         return (0..hits).map(|_| g.sample(rng)).sum();
     }
@@ -99,6 +108,12 @@ fn stream_samples_for_hits<R: Rng64 + ?Sized>(hits: u64, p: f64, rng: &mut R) ->
     // f64 → u64 casts saturate, so a deep-left-tail draw clamps to 0
     // and then to the support minimum.
     (draw as u64).max(hits)
+}
+
+/// [`stream_samples_for_hits_bounded`] at this engine's exact-sum
+/// ceiling.
+fn stream_samples_for_hits<R: Rng64 + ?Sized>(hits: u64, p: f64, rng: &mut R) -> u64 {
+    stream_samples_for_hits_bounded(hits, p, 4096, rng)
 }
 
 /// Places `count` balls into uniformly random bins with load `< t`,
@@ -211,6 +226,15 @@ pub fn place_batch_below<R: Rng64 + ?Sized>(
 /// [`place_batch_below`]. If the observer wants stage traces, segments
 /// are additionally capped at stage boundaries so `on_stage_end` fires
 /// exactly as it would under the sequential engines.
+///
+/// Segments too short for the round machinery to engage (fewer balls
+/// than [`batch_cutoff`] of the accepting count — every stage of
+/// `adaptive` at heavy load) skip it entirely: the driver keeps a
+/// [`PartitionedBins`] index across segments, reads the accepting count
+/// in O(1), and places such segments ball by ball with zero setup cost.
+/// Previously every stage paid an O(n) open-list scan only to fall
+/// through to the per-ball tail, which put a `O(m)`-with-a-bad-constant
+/// floor under `adaptive`'s level-batched runs.
 pub fn drive_level_batched<S, R, O>(
     name: String,
     cfg: &RunConfig,
@@ -224,7 +248,7 @@ where
     O: Observer + ?Sized,
 {
     let n64 = cfg.n as u64;
-    let mut loads = vec![0u32; cfg.n];
+    let mut bins = PartitionedBins::new(cfg.n);
     let mut total_samples = 0u64;
     let mut max_samples = 0u64;
     let want_stages = obs.wants_stage_ends();
@@ -236,16 +260,38 @@ where
         if want_stages {
             end = end.min(((ball - 1) / n64 + 1) * n64);
         }
-        let stats = place_batch_below(&mut loads, t, end - ball + 1, rng);
-        total_samples += stats.samples;
-        max_samples = max_samples.max(stats.max_samples_per_ball);
+        let count = end - ball + 1;
+        let k0 = bins.count_below(t);
+        if count < batch_cutoff(k0) {
+            // Short segment: rounds would not engage. Per-ball placement
+            // on the partitioned index is O(1) per ball; the faithful
+            // retry loop is the cheapest variant while most bins accept
+            // (expected retries < 2), the geometric jump otherwise. The
+            // two are identical in distribution (see `crate::sampler`).
+            let engine = if 2 * k0 >= cfg.n {
+                Engine::Faithful
+            } else {
+                Engine::Jump
+            };
+            for _ in 0..count {
+                let (_, samples) = place_below(&mut bins, t, engine, rng);
+                total_samples += samples;
+                max_samples = max_samples.max(samples);
+            }
+        } else {
+            let mut loads = bins.as_slice().to_vec();
+            let stats = place_batch_below(&mut loads, t, count, rng);
+            total_samples += stats.samples;
+            max_samples = max_samples.max(stats.max_samples_per_ball);
+            bins = PartitionedBins::from_loads(loads);
+        }
         if want_stages && end.is_multiple_of(n64) {
-            obs.on_stage_end(end / n64, &loads, end);
+            obs.on_stage_end(end / n64, bins.as_slice(), end);
         }
         ball = end + 1;
     }
     if want_stages && cfg.m > 0 && !cfg.m.is_multiple_of(n64) {
-        obs.on_stage_end(cfg.m / n64 + 1, &loads, cfg.m);
+        obs.on_stage_end(cfg.m / n64 + 1, bins.as_slice(), cfg.m);
     }
     Outcome {
         protocol: name,
@@ -253,12 +299,13 @@ where
         m: cfg.m,
         total_samples,
         max_samples_per_ball: max_samples,
-        loads,
+        loads: bins.to_load_vector().into_loads(),
     }
 }
 
 /// The shared `allocate` body of every threshold-scheduled protocol:
-/// dispatches the configured engine to the batched driver or the
+/// resolves [`Engine::Auto`] against the measured matrix, then
+/// dispatches to the histogram driver, the level-batched driver or the
 /// per-ball loop.
 pub fn allocate_scheduled<P, R, O>(
     protocol: &P,
@@ -271,7 +318,14 @@ where
     R: Rng64 + ?Sized,
     O: Observer + ?Sized,
 {
-    match cfg.engine {
+    let engine = match cfg.engine {
+        Engine::Auto => Engine::auto_scheduled(cfg.n, cfg.m),
+        engine => engine,
+    };
+    match engine {
+        Engine::Histogram => {
+            crate::histogram::drive_histogram(protocol.name(), cfg, rng, obs, protocol)
+        }
         Engine::LevelBatched => drive_level_batched(protocol.name(), cfg, rng, obs, protocol),
         engine => {
             // Memoize the bound per constant-threshold segment: the

@@ -26,6 +26,10 @@
 //! * [`level_batched`] — the third engine: whole constant-threshold
 //!   segments placed with binomial level splits, exact on final loads,
 //!   built for the `m = n²` regime.
+//! * [`histogram`] — the fourth engine: the bin dimension collapsed to
+//!   the occupancy histogram `counts[load]`, rounds costing
+//!   `O(#distinct loads)` independent of `n`; also accelerates
+//!   `one-choice` and `greedy[d]` through their CDF landing laws.
 //! * [`potential`] — the quadratic Ψ and exponential Φ potentials and gap
 //!   metrics from Section 2.
 //! * [`protocol`] — the [`protocol::Protocol`] trait, run configuration,
@@ -52,6 +56,7 @@
 pub mod batched;
 pub mod bins;
 pub mod choices;
+pub mod histogram;
 pub mod level_batched;
 pub mod partitioned;
 pub mod poissonized;
@@ -66,6 +71,7 @@ pub mod weighted;
 pub mod prelude {
     pub use crate::batched::BatchedAdaptive;
     pub use crate::bins::LoadVector;
+    pub use crate::histogram::{HistogramSchedule, OccupancyHistogram};
     pub use crate::level_batched::ThresholdSchedule;
     pub use crate::partitioned::PartitionedBins;
     pub use crate::potential::{exponential_potential, gap, quadratic_potential};

@@ -24,8 +24,21 @@ use bib_rng::Rng64;
 /// vector* but does not produce per-ball traces: `Observer::on_ball`
 /// never fires, `total_samples` is a CLT-faithful draw rather than a
 /// per-ball sum, and `max_samples_per_ball` is only a lower-bound proxy.
-/// Fixed-sample protocols (`one-choice`, `greedy[d]`, `left[d]`,
-/// `memory`, `(1+β)`) ignore the engine entirely.
+///
+/// `Histogram` collapses the bin dimension entirely (see
+/// [`crate::histogram`]): state is the occupancy histogram
+/// `counts[ℓ] = #bins with load ℓ`, rounds advance with binomial splits
+/// over occupancy *classes* instead of bins, and a concrete load vector
+/// is reconstructed only at the end through a seeded random assignment.
+/// Unlike the other engines it also accelerates the fixed-sample
+/// baselines `one-choice` and `greedy[d]` (their landing laws are
+/// functions of the histogram CDF); `left[d]`, `memory` and `(1+β)`
+/// still ignore the engine entirely.
+///
+/// `Auto` is not an engine of its own: each protocol resolves it to the
+/// measured-fastest concrete engine for its `(protocol, n, m)` cell
+/// before running (see [`Engine::auto_scheduled`] /
+/// [`Engine::auto_fixed`], calibrated against `BENCH_engines.json`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Faithful sample-by-sample retry loop.
@@ -37,11 +50,25 @@ pub enum Engine {
     /// Level-batched group placement: binomial intake splits per load
     /// level, exact on final loads, no per-ball trace.
     LevelBatched,
+    /// Occupancy-histogram engine: the bin dimension is collapsed to
+    /// `counts[load]`; round cost is `O(#distinct loads)`, independent
+    /// of `n`. Final loads reconstructed by seeded random assignment.
+    Histogram,
+    /// Resolve to the measured-fastest concrete engine per
+    /// `(protocol, n, m)` at run time.
+    Auto,
 }
 
 impl Engine {
-    /// All engines, in documentation order.
-    pub const ALL: [Engine; 3] = [Engine::Faithful, Engine::Jump, Engine::LevelBatched];
+    /// All *concrete* engines, in documentation order. `Auto` is a
+    /// selector, not an engine, and is deliberately absent: iterating
+    /// `ALL` visits each distinct simulation path exactly once.
+    pub const ALL: [Engine; 4] = [
+        Engine::Faithful,
+        Engine::Jump,
+        Engine::LevelBatched,
+        Engine::Histogram,
+    ];
 
     /// Canonical CLI / JSON name.
     pub fn name(&self) -> &'static str {
@@ -49,6 +76,40 @@ impl Engine {
             Engine::Faithful => "faithful",
             Engine::Jump => "jump",
             Engine::LevelBatched => "level-batched",
+            Engine::Histogram => "histogram",
+            Engine::Auto => "auto",
+        }
+    }
+
+    /// Resolves `Auto` for a threshold-scheduled protocol.
+    ///
+    /// Calibrated against the committed `BENCH_engines.json` (a serial,
+    /// single-worker run — see `bench_json --serial`): the histogram
+    /// engine is the measured-fastest at every size in the matrix for
+    /// every schedule shape (its round cost is independent of `n`), so
+    /// the faithful per-ball loop only wins when the run is tiny or `n`
+    /// is so large relative to `m` that the engine's `O(n)`
+    /// reconstruction and assignment permutation dominate the placement
+    /// work itself.
+    pub fn auto_scheduled(n: usize, m: u64) -> Engine {
+        if m < (1 << 13) || 4 * m < n as u64 {
+            Engine::Faithful
+        } else {
+            Engine::Histogram
+        }
+    }
+
+    /// Resolves `Auto` for the fixed-sample protocols that have a
+    /// histogram fast path (`one-choice`, `greedy[d]`): per-bin
+    /// sequential placement while small (its cache-resident loop is hard
+    /// to beat), histogram once the run is heavy enough that collapsing
+    /// the bin dimension pays — which `BENCH_engines.json` puts at
+    /// roughly a million balls.
+    pub fn auto_fixed(n: usize, m: u64) -> Engine {
+        if m >= (1 << 20) && 4 * m >= n as u64 {
+            Engine::Histogram
+        } else {
+            Engine::Faithful
         }
     }
 }
@@ -67,8 +128,11 @@ impl std::str::FromStr for Engine {
             "faithful" | "naive" => Ok(Engine::Faithful),
             "jump" => Ok(Engine::Jump),
             "level-batched" | "batched" | "level_batched" => Ok(Engine::LevelBatched),
+            "histogram" | "hist" => Ok(Engine::Histogram),
+            "auto" => Ok(Engine::Auto),
             other => Err(format!(
-                "unknown engine {other:?}; expected faithful, jump or level-batched"
+                "unknown engine {other:?}; expected faithful, jump, level-batched, histogram \
+                 or auto"
             )),
         }
     }

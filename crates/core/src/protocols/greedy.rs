@@ -7,7 +7,8 @@
 //! two choices". Compared to the paper's protocols it spends `d×` the
 //! samples yet cannot reach the `⌈m/n⌉ + 1` guarantee.
 
-use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
+use crate::histogram::{drive_histogram, HistogramSchedule, HistogramSegment, LandingRule};
+use crate::protocol::{drive_sequential, Engine, Observer, Outcome, Protocol, RunConfig};
 use bib_rng::{Rng64, RngExt};
 
 /// Tie-breaking rule when several sampled bins share the minimum load.
@@ -51,6 +52,18 @@ impl GreedyD {
     }
 }
 
+impl HistogramSchedule for GreedyD {
+    fn histogram_segment(&self, cfg: &RunConfig, _ball: u64) -> HistogramSegment {
+        // The least loaded of d uniform samples is a pure function of
+        // the occupancy CDF, and both tie-break rules land in the same
+        // load class — so the histogram engine covers every variant.
+        HistogramSegment {
+            rule: LandingRule::LeastOfD(self.d),
+            end: cfg.m,
+        }
+    }
+}
+
 impl Protocol for GreedyD {
     fn name(&self) -> String {
         match self.tie {
@@ -64,6 +77,16 @@ impl Protocol for GreedyD {
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
+        let engine = match cfg.engine {
+            Engine::Auto => Engine::auto_fixed(cfg.n, cfg.m),
+            engine => engine,
+        };
+        if engine == Engine::Histogram {
+            // The d-choice landing class is computable from the
+            // histogram CDF, which makes greedy feasible at m = n²
+            // scales for the first time (see `crate::histogram`).
+            return drive_histogram(self.name(), cfg, rng, obs, self);
+        }
         let d = self.d;
         let tie = self.tie;
         drive_sequential(self.name(), cfg, rng, obs, move |bins, _ball, rng| {

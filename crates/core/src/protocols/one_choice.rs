@@ -7,12 +7,24 @@
 //! samples) with the worst balance — the anchor row for every
 //! comparison.
 
-use crate::protocol::{drive_sequential, Observer, Outcome, Protocol, RunConfig};
+use crate::histogram::{drive_histogram, HistogramSchedule, HistogramSegment, LandingRule};
+use crate::protocol::{drive_sequential, Engine, Observer, Outcome, Protocol, RunConfig};
 use bib_rng::{Rng64, RngExt};
 
 /// The single-choice baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OneChoice;
+
+impl HistogramSchedule for OneChoice {
+    fn histogram_segment(&self, cfg: &RunConfig, _ball: u64) -> HistogramSegment {
+        // Every bin accepts every ball: the unbounded uniform rule, one
+        // segment for the whole run.
+        HistogramSegment {
+            rule: LandingRule::UniformBelow(None),
+            end: cfg.m,
+        }
+    }
+}
 
 impl Protocol for OneChoice {
     fn name(&self) -> String {
@@ -24,6 +36,13 @@ impl Protocol for OneChoice {
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
+        let engine = match cfg.engine {
+            Engine::Auto => Engine::auto_fixed(cfg.n, cfg.m),
+            engine => engine,
+        };
+        if engine == Engine::Histogram {
+            return drive_histogram(self.name(), cfg, rng, obs, self);
+        }
         drive_sequential(self.name(), cfg, rng, obs, |bins, _ball, rng| {
             let b = rng.range_usize(bins.n());
             bins.place(b);

@@ -28,9 +28,11 @@ use bib_rng::{Rng64, RngExt};
 /// no bin accepts — neither paper protocol can reach that state, and
 /// reaching it indicates a threshold bug.
 ///
-/// [`Engine::LevelBatched`] has no *per-ball* placement of its own (its
-/// whole point is to avoid one); a single ball under that engine is
-/// placed by the distributionally identical jump rule.
+/// The batched engines ([`Engine::LevelBatched`], [`Engine::Histogram`])
+/// have no *per-ball* placement of their own (their whole point is to
+/// avoid one); a single ball under those engines — and under an
+/// unresolved [`Engine::Auto`] — is placed by the distributionally
+/// identical jump rule.
 pub fn place_below<R: Rng64 + ?Sized>(
     bins: &mut PartitionedBins,
     t: u32,
@@ -39,7 +41,9 @@ pub fn place_below<R: Rng64 + ?Sized>(
 ) -> (usize, u64) {
     match engine {
         Engine::Faithful => place_below_naive(bins, t, rng),
-        Engine::Jump | Engine::LevelBatched => place_below_jump(bins, t, rng),
+        Engine::Jump | Engine::LevelBatched | Engine::Histogram | Engine::Auto => {
+            place_below_jump(bins, t, rng)
+        }
     }
 }
 

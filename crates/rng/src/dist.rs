@@ -260,7 +260,14 @@ impl BinomialSampler {
     /// CDF inversion for `q ≤ 1/2` with small mean: walk the pmf from
     /// `k = 0` using the recurrence
     /// `pmf(k+1) = pmf(k) · (n−k)/(k+1) · q/(1−q)`.
-    fn sample_inversion<R: Rng64 + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    ///
+    /// Only valid while `(1−q)^n` stays clear of subnormal underflow —
+    /// comfortably true in the `n·q ≤ 32` regime [`BinomialSampler::sample`]
+    /// routes here, and *not* beyond it (the property suite pins the
+    /// boundary). Public so that suite can cross-validate the two
+    /// inversion paths on the same parameters; use `sample` (which
+    /// picks the regime) otherwise.
+    pub fn sample_inversion<R: Rng64 + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
         let ratio = q / (1.0 - q);
         let mut k = 0u64;
         let mut pmf = (1.0 - q).powi(n as i32).max(f64::MIN_POSITIVE);
@@ -280,7 +287,11 @@ impl BinomialSampler {
     /// `Bin(n, q)` (each value owns an interval of width `pmf(k)`), with
     /// `O(√(n·q·(1−q)))` expected steps since the mass concentrates
     /// around the mode.
-    fn sample_mode_inversion<R: Rng64 + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
+    ///
+    /// Public so the property suite can cross-validate the two
+    /// inversion paths against each other on the same parameters; use
+    /// [`BinomialSampler::sample`] (which picks the regime) otherwise.
+    pub fn sample_mode_inversion<R: Rng64 + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
         let mode = (((n + 1) as f64) * q).floor().min(n as f64) as u64;
         let ln_pmf = ln_factorial(n) - ln_factorial(mode) - ln_factorial(n - mode)
             + mode as f64 * q.ln()

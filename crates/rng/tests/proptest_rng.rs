@@ -149,3 +149,99 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Mode-centred inversion at the p → 0 edge with n up to 10⁹: the
+    /// sample mean must sit within normal-theory bounds of n·p and the
+    /// sample variance within a generous window of n·p·(1−p). The mean
+    /// is kept moderate so the mode-centred path (flipped mean > 32) is
+    /// the one exercised while draws stay O(√mean).
+    #[test]
+    fn binomial_mode_inversion_small_p_edge(
+        seed in any::<u64>(),
+        n in 1_000_000u64..=1_000_000_000,
+        mean in 40.0f64..400.0,
+    ) {
+        let p = mean / n as f64; // p as small as 4e-8
+        let d = BinomialSampler::new(n, p);
+        let mut rng = SplitMix64::new(seed);
+        let reps = 300u64;
+        let xs: Vec<f64> = (0..reps).map(|_| d.sample(&mut rng) as f64).collect();
+        let m = xs.iter().sum::<f64>() / reps as f64;
+        let var_true = n as f64 * p * (1.0 - p);
+        let sd_of_mean = (var_true / reps as f64).sqrt();
+        prop_assert!((m - mean).abs() < 5.0 * sd_of_mean,
+            "n={n} p={p}: mean {m} vs {mean} (tol {})", 5.0 * sd_of_mean);
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (reps - 1) as f64;
+        // Sample variance of 300 draws has ~8% relative sd; allow 5σ.
+        prop_assert!(v > 0.55 * var_true && v < 1.6 * var_true,
+            "n={n} p={p}: var {v} vs {var_true}");
+        prop_assert!(xs.iter().all(|&x| x >= 0.0 && x <= n as f64));
+    }
+
+    /// The mirrored p → 1 edge: draws concentrate at n − O(mean of the
+    /// flipped tail), and the flip keeps mean and variance exact.
+    #[test]
+    fn binomial_mode_inversion_large_p_edge(
+        seed in any::<u64>(),
+        n in 1_000_000u64..=1_000_000_000,
+        flipped_mean in 40.0f64..400.0,
+    ) {
+        let p = 1.0 - flipped_mean / n as f64;
+        let d = BinomialSampler::new(n, p);
+        let mut rng = SplitMix64::new(seed);
+        let reps = 300u64;
+        let xs: Vec<f64> = (0..reps).map(|_| (n - d.sample(&mut rng)) as f64).collect();
+        let m = xs.iter().sum::<f64>() / reps as f64;
+        let var_true = n as f64 * p * (1.0 - p);
+        let sd_of_mean = (var_true / reps as f64).sqrt();
+        prop_assert!((m - flipped_mean).abs() < 5.0 * sd_of_mean,
+            "n={n} p={p}: flipped mean {m} vs {flipped_mean}");
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (reps - 1) as f64;
+        prop_assert!(v > 0.55 * var_true && v < 1.6 * var_true,
+            "n={n} p={p}: var {v} vs {var_true}");
+    }
+
+    /// The two exact inversion paths sample the *same* distribution on
+    /// the from-zero path's domain (`n·q ≤ 32`, where `(1−q)^n` cannot
+    /// underflow — beyond it only the mode-centred path is valid, which
+    /// is exactly how `sample` routes): their ensemble means must agree
+    /// within two-sample normal bounds.
+    #[test]
+    fn binomial_inversion_paths_agree(
+        seed in any::<u64>(),
+        n in 100u64..2000,
+        mean in 2.0f64..=32.0,
+    ) {
+        let q = (mean / n as f64).min(0.45);
+        let reps = 400u64;
+        let mut rng = SplitMix64::new(seed);
+        let from_zero: f64 = (0..reps)
+            .map(|_| BinomialSampler::sample_inversion(n, q, &mut rng) as f64)
+            .sum::<f64>() / reps as f64;
+        let from_mode: f64 = (0..reps)
+            .map(|_| BinomialSampler::sample_mode_inversion(n, q, &mut rng) as f64)
+            .sum::<f64>() / reps as f64;
+        let sd_of_diff = (2.0 * n as f64 * q * (1.0 - q) / reps as f64).sqrt();
+        prop_assert!((from_zero - from_mode).abs() < 5.0 * sd_of_diff,
+            "n={n} q={q}: from-zero {from_zero} vs mode-centred {from_mode}");
+    }
+
+    /// Degenerate tails at huge n: a vanishing p yields a near-Poisson
+    /// count that must stay tiny, and the sampler must not loop or
+    /// overflow anywhere on the support.
+    #[test]
+    fn binomial_vanishing_p_stays_poisson_sized(seed in any::<u64>()) {
+        let n = 1_000_000_000u64;
+        let d = BinomialSampler::new(n, 3e-9); // mean 3
+        let mut rng = SplitMix64::new(seed);
+        let mut total = 0u64;
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x <= 60, "mean-3 draw produced {x}");
+            total += x;
+        }
+        // 200 draws of mean 3: total within ±6σ = ±147.
+        prop_assert!((total as i64 - 600).unsigned_abs() < 150, "total {total}");
+    }
+}

@@ -4,7 +4,7 @@
 //! balls-into-bins list
 //! balls-into-bins constants
 //! balls-into-bins run --protocol adaptive --n 10000 --m 1000000 \
-//!     [--seed 2013] [--engine jump|faithful|level-batched] [--reps 1] [--trace]
+//!     [--seed 2013] [--engine jump|faithful|level-batched|histogram|auto] [--reps 1] [--trace]
 //! ```
 //!
 //! `run` prints one summary line per replicate (CSV with a header), or a
@@ -31,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  balls-into-bins list\n  balls-into-bins constants\n  \
          balls-into-bins run --protocol <name> --n <bins> --m <balls>\n      \
-         [--seed <u64>] [--engine jump|faithful|level-batched] [--reps <count>] [--trace]\n\n\
+         [--seed <u64>] [--engine jump|faithful|level-batched|histogram|auto] [--reps <count>] [--trace]\n\n\
          protocols: {}",
         PROTOCOLS.join(", ")
     );
