@@ -114,9 +114,50 @@ fn bench_heavy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_weighted_heavy(c: &mut Criterion) {
+    // The weight-class histogram engine's acceptance regime:
+    // n = 10⁴, m = 10⁸ (the weighted analogue of the heavy gate; the
+    // faithful per-ball baseline at ~2.5 s/run lives in
+    // BENCH_engines.json). Debug smoke shrinks the size.
+    #[cfg(debug_assertions)]
+    let (n, m) = (512usize, (512 * 128) as u64);
+    #[cfg(not(debug_assertions))]
+    let (n, m) = (10_000usize, 100_000_000u64);
+    let mut group = c.benchmark_group(format!("engines/weighted-heavy n={n}"));
+    group.throughput(Throughput::Elements(m));
+    let shapes: [(&str, Vec<f64>); 2] = [
+        ("near-degenerate", {
+            let mut w = vec![1.0f64; n];
+            w[0] = 1e-6;
+            w
+        }),
+        (
+            "two-class",
+            (0..n).map(|j| if j % 4 == 0 { 8.0 } else { 1.0 }).collect(),
+        ),
+    ];
+    for (label, weights) in shapes {
+        let proto = WeightedAdaptive::new(weights);
+        let cfg = RunConfig::new(n, m).with_engine(Engine::Histogram);
+        group.bench_with_input(
+            BenchmarkId::new("weighted-adaptive", label),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SeedSequence::new(seed).rng();
+                    proto.allocate(cfg, &mut rng, &mut NullObserver)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_engines, bench_heavy
+    targets = bench_engines, bench_heavy, bench_weighted_heavy
 }
 criterion_main!(benches);

@@ -1,12 +1,15 @@
-//! **E12 — engine/protocol perf matrix** → `BENCH_engines.json`.
+//! **E12 — scenario/engine perf matrix** → `BENCH_engines.json`.
 //!
-//! Runs `threshold` and `adaptive` under every engine (plus `auto`) at
-//! fixed sizes, `one-choice` and `greedy[2]` under their histogram fast
-//! path at the heavy size, measures wall time, and writes a
-//! machine-readable JSON record so the perf trajectory is tracked
-//! in-repo. The committed `BENCH_engines.json` at the repo root is a
-//! full run on the reference machine; CI re-runs `--smoke` to catch
-//! engine regressions that break the run itself.
+//! Runs the uniform protocols (`threshold`, `adaptive`) under every
+//! engine (plus `auto`) at fixed sizes, `one-choice` and `greedy[2]`
+//! under their histogram fast path at the heavy size, the *weighted*
+//! family (faithful vs weight-class histogram engine, several weight
+//! shapes) and the *parallel round* protocols — one row per cell, each
+//! tagged with its `scenario` (`uniform` | `weighted` | `parallel`), and
+//! writes a machine-readable JSON record (schema v3) so the perf
+//! trajectory is tracked in-repo. The committed `BENCH_engines.json` at
+//! the repo root is a full run on the reference machine; CI re-runs
+//! `--quick` to catch engine regressions that break the run itself.
 //!
 //! The matrix cells are measured in parallel over
 //! [`bib_parallel::par_map`] worker threads (one cell per task — cells
@@ -14,15 +17,18 @@
 //! depend on (worker threads, rustc version) is recorded in the JSON
 //! header. Parallel cells contend for cores, so the *committed*
 //! `BENCH_engines.json` — the artifact the `Engine::Auto` cutoffs are
-//! calibrated against — must come from a serial run (`--serial`, or a
-//! single-core host as recorded in `host.threads`).
+//! calibrated against — must come from a serial run (`--threads 1`, or
+//! a single-core host as recorded in `host.threads`).
 //!
 //! ```text
-//! cargo run --release -p bib-bench --bin bench_json [-- --smoke --out PATH --seed <u64> --serial]
+//! cargo run --release -p bib-bench --bin bench_json \
+//!     [-- --quick --out PATH --seed <u64> --threads <n>]
 //! ```
 
+use bib_bench::ExpArgs;
 use bib_core::prelude::*;
 use bib_core::run::run_protocol;
+use bib_parallel::protocols::{BoundedLoad, Collision};
 use bib_parallel::{available_threads, par_map};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,12 +38,20 @@ struct Spec {
     proto: Box<dyn DynProtocol + Send + Sync>,
     cfg: RunConfig,
     reps: u64,
+    /// Engine label for the row; parallel protocols have one execution
+    /// path and report "rounds".
+    engine: &'static str,
+    /// Display-name override, e.g. `weighted-adaptive[two-class]` —
+    /// weighted cells differ only by their weight shape, which must be
+    /// readable off the row key.
+    name: Option<String>,
 }
 
 /// One measured cell.
 struct Cell {
     protocol: String,
-    engine: Engine,
+    scenario: &'static str,
+    engine: String,
     n: usize,
     m: u64,
     reps: u64,
@@ -58,6 +72,7 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
     let mut wall_ms = 0.0f64;
     let mut wall_ms_best = f64::MAX;
     let mut samples = 0u64;
+    let mut scenario = "uniform";
     for rep in 0..spec.reps {
         let start = Instant::now();
         let out = run_protocol(spec.proto.as_ref(), &spec.cfg, seed.wrapping_add(rep));
@@ -65,11 +80,13 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
         wall_ms += ms;
         wall_ms_best = wall_ms_best.min(ms);
         samples += out.total_samples;
+        scenario = out.scenario.label();
     }
     let wall_ms_mean = wall_ms / spec.reps as f64;
     Cell {
-        protocol: spec.proto.name(),
-        engine: spec.cfg.engine,
+        protocol: spec.name.clone().unwrap_or_else(|| spec.proto.name()),
+        scenario,
+        engine: spec.engine.to_string(),
         n: spec.cfg.n,
         m: spec.cfg.m,
         reps: spec.reps,
@@ -94,28 +111,38 @@ fn rustc_version() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Benchmark weight vectors: the shapes the weighted chi-square suite
+/// exercises, at bench scale.
+fn weight_vectors(n: usize) -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("near-degenerate", {
+            let mut w = vec![1.0f64; n];
+            w[0] = 1e-6;
+            w
+        }),
+        (
+            "two-class",
+            (0..n).map(|j| if j % 4 == 0 { 8.0 } else { 1.0 }).collect(),
+        ),
+        (
+            "power-law-16",
+            (0..n).map(|j| 1.5f64.powi((j % 16) as i32)).collect(),
+        ),
+    ]
+}
+
 fn main() {
-    let mut smoke = false;
-    let mut serial = false;
-    let mut out_path = String::from("BENCH_engines.json");
-    let mut seed = 2013u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--serial" => serial = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a u64");
-            }
-            other => panic!(
-                "unknown flag {other}; supported: --smoke --serial --out <path> --seed <u64>"
-            ),
-        }
-    }
+    // `--quick` is the old `--smoke`; `--threads 1` is the old
+    // `--serial`; `--out`/`--seed` come straight from the shared flags.
+    let args = ExpArgs::parse_with(|flag, _| matches!(flag, "--smoke" | "--serial"));
+    let smoke = args.quick || std::env::args().any(|a| a == "--smoke");
+    let serial = args.threads == Some(1) || std::env::args().any(|a| a == "--serial");
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_engines.json".into());
+    let seed = args.seed;
+
     // (n, phi, reps) grid: light (phi = 16), heavy (phi = 256) and the
     // Lemma 4.2 regime (m = n², phi = n) where the engines separate.
     let sizes: Vec<(usize, u64, u64)> = if smoke {
@@ -133,11 +160,15 @@ fn main() {
                 proto: Box::new(Threshold),
                 cfg,
                 reps,
+                engine: engine.name(),
+                name: None,
             });
             specs.push(Spec {
                 proto: Box::new(Adaptive::paper()),
                 cfg,
                 reps,
+                engine: engine.name(),
+                name: None,
             });
         }
     }
@@ -156,20 +187,80 @@ fn main() {
             proto: Box::new(OneChoice),
             cfg,
             reps,
+            engine: engine.name(),
+            name: None,
         });
         specs.push(Spec {
             proto: Box::new(GreedyD::new(2)),
             cfg,
             reps,
+            engine: engine.name(),
+            name: None,
         });
     }
+    // Weighted rows at the heavy size: faithful per-ball vs the
+    // weight-class histogram engine, across the weight shapes of the
+    // equivalence suite. The engine speedup quoted in the README is
+    // wall_ms_best(faithful) / wall_ms_best(histogram) per shape.
+    let (n_w, m_w) = if smoke {
+        (512usize, 512 * 64u64)
+    } else {
+        (10_000usize, 100_000_000u64)
+    };
+    for (shape, weights) in weight_vectors(n_w) {
+        for engine in [Engine::Faithful, Engine::Histogram, Engine::Auto] {
+            let cfg = RunConfig::new(n_w, m_w).with_engine(engine);
+            let reps = if engine == Engine::Faithful && !smoke {
+                1
+            } else {
+                3
+            };
+            specs.push(Spec {
+                proto: Box::new(WeightedAdaptive::new(weights.clone())),
+                cfg,
+                reps,
+                engine: engine.name(),
+                name: Some(format!("weighted-adaptive[{shape}]")),
+            });
+        }
+        let cfg = RunConfig::new(n_w, m_w).with_engine(Engine::Histogram);
+        specs.push(Spec {
+            proto: Box::new(WeightedOneChoice::new(weights)),
+            cfg,
+            reps: 3,
+            engine: Engine::Histogram.name(),
+            name: Some(format!("weighted-one-choice[{shape}]")),
+        });
+    }
+    // Parallel-round rows at m = n: rounds/messages are the currency;
+    // wall time tracks the round loop.
+    let n_p = if smoke { 1 << 12 } else { 1 << 20 };
+    let cfg_p = RunConfig::new(n_p, n_p as u64);
+    specs.push(Spec {
+        proto: Box::new(BoundedLoad::new(2)),
+        cfg: cfg_p,
+        reps: 3,
+        engine: "rounds",
+        name: None,
+    });
+    specs.push(Spec {
+        proto: Box::new(Collision::new(1)),
+        cfg: cfg_p,
+        reps: 3,
+        engine: "rounds",
+        name: None,
+    });
 
-    let threads = if serial { 1 } else { available_threads() };
+    let threads = if serial {
+        1
+    } else {
+        args.threads_or_available()
+    };
     let cells: Vec<Cell> = par_map(specs.len(), threads, |i| measure(&specs[i], seed));
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v3\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -182,10 +273,11 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"protocol\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"reps\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_best\": {:.3}, \
-             \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}}}",
+            "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"engine\": \"{}\", \
+             \"n\": {}, \"m\": {}, \"reps\": {}, \"wall_ms_mean\": {:.3}, \
+             \"wall_ms_best\": {:.3}, \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}}}",
             c.protocol,
+            c.scenario,
             c.engine,
             c.n,
             c.m,
@@ -208,13 +300,22 @@ fn main() {
         threads
     );
     println!(
-        "{:<12} {:>14} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
-        "protocol", "engine", "n", "m", "wall_mean", "wall_best", "samples/ball", "Mballs/s"
+        "{:<20} {:<10} {:>14} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "protocol",
+        "scenario",
+        "engine",
+        "n",
+        "m",
+        "wall_mean",
+        "wall_best",
+        "samples/ball",
+        "Mballs/s"
     );
     for c in &cells {
         println!(
-            "{:<12} {:>14} {:>8} {:>12} {:>12.3} {:>12.3} {:>14.4} {:>12.2}",
+            "{:<20} {:<10} {:>14} {:>8} {:>12} {:>12.3} {:>12.3} {:>14.4} {:>12.2}",
             c.protocol,
+            c.scenario,
             c.engine,
             c.n,
             c.m,

@@ -14,7 +14,7 @@ use bib_analysis::paper;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
 use bib_parallel::replicate::summarize_metric;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -51,11 +51,7 @@ fn main() {
     for &n in &ns {
         let m = phi_load * n as u64;
         let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
-        let outs = replicate_outcomes(
-            &Adaptive::paper(),
-            &cfg,
-            &ReplicateSpec::new(reps, args.seed),
-        );
+        let outs = replicate_outcomes(&Adaptive::paper(), &cfg, &args.replicate_spec(reps));
         let phi = summarize_metric(&outs, |o| o.phi() / n as f64);
         let psi = summarize_metric(&outs, |o| o.psi() / n as f64);
         let gap = summarize_metric(&outs, |o| o.gap() as f64);

@@ -15,7 +15,7 @@ use bib_analysis::coupon::expected_full_collection;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
 use bib_parallel::replicate::summarize_metric;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -39,7 +39,7 @@ fn main() {
     for &n in &ns {
         let m = phi * n as u64;
         let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
-        let spec = ReplicateSpec::new(reps, args.seed);
+        let spec = args.replicate_spec(reps);
         let tight = replicate_outcomes(&Adaptive::tight(), &cfg, &spec);
         let papr = replicate_outcomes(&Adaptive::paper(), &cfg, &spec);
 

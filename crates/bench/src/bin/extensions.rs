@@ -19,7 +19,6 @@ use bib_analysis::Welford;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
 use bib_core::run::{replicate_seed, run_protocol};
-use bib_rng::SeedSequence;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -55,10 +54,15 @@ fn main() {
     println!("\n# Expected: time/m rises mildly with b; max_excess stays <= 1 for ALL b.\n");
 
     // --- heterogeneity sweep ---------------------------------------------
+    // The weighted family is an ordinary Protocol since the scenario
+    // unification: the sweep goes through `run_protocol` (seed
+    // discipline included) with the engine resolved per cell by
+    // `Engine::Auto` — the weight-class histogram engine at these sizes.
     println!(
         "# Extension B: weighted adaptive vs weighted one-choice; n = {n}, m = {m}, {reps} reps\n"
     );
     let mut table = Table::new(vec![
+        "scenario",
         "skew",
         "ada_time/m",
         "ada_max_over",
@@ -71,28 +75,23 @@ fn main() {
         let weights: Vec<f64> = (0..n).map(|j| 1.0 + (j as u32 % skew) as f64).collect();
         let ada = WeightedAdaptive::new(weights.clone());
         let one = WeightedOneChoice::new(weights);
+        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
         let mut a_time = Welford::new();
         let mut a_over = Welford::new();
         let mut a_psi = Welford::new();
         let mut o_over = Welford::new();
         let mut o_psi = Welford::new();
         for rep in 0..reps {
-            let mut rng = SeedSequence::new(args.seed)
-                .child_str("weighted")
-                .child(skew as u64)
-                .child(rep)
-                .rng();
-            let oa = ada.run(m, &mut rng);
-            oa.validate();
+            let oa = run_protocol(&ada, &cfg, replicate_seed(args.seed, &ada.name(), rep));
             a_time.push(oa.time_ratio());
             a_over.push(oa.max_overload());
             a_psi.push(oa.weighted_psi());
-            let oo = one.run(m, &mut rng);
-            oo.validate();
+            let oo = run_protocol(&one, &cfg, replicate_seed(args.seed, &one.name(), rep));
             o_over.push(oo.max_overload());
             o_psi.push(oo.weighted_psi());
         }
         table.row(vec![
+            "weighted".to_string(),
             skew.to_string(),
             f(a_time.mean()),
             f(a_over.mean()),

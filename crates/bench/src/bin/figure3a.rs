@@ -15,7 +15,7 @@
 
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -37,7 +37,7 @@ fn main() {
 
     for &m in &ms {
         let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
-        let spec = ReplicateSpec::new(reps, args.seed);
+        let spec = args.replicate_spec(reps);
         let ada = replicate_outcomes(&Adaptive::paper(), &cfg, &spec);
         let thr = replicate_outcomes(&Threshold, &cfg, &spec);
         let sa = bib_parallel::replicate::summarize_metric(&ada, |o| o.total_samples as f64);

@@ -16,7 +16,7 @@ use bib_analysis::stats::power_fit;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
 use bib_parallel::replicate::summarize_metric;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -54,7 +54,7 @@ fn main() {
         // when wanted.
         let thr_cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::LevelBatched));
         let ada_cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
-        let spec = ReplicateSpec::new(reps, args.seed);
+        let spec = args.replicate_spec(reps);
         let thr = replicate_outcomes(&Threshold, &thr_cfg, &spec);
         let ada = replicate_outcomes(&Adaptive::paper(), &ada_cfg, &spec);
 

@@ -6,14 +6,21 @@
 //! protocols, next to `log*₂(n)` — the round complexity the paper quotes
 //! for \[12\].
 //!
+//! Since the scenario-layer unification the round protocols are plain
+//! [`Protocol`](bib_core::protocol::Protocol)s, so the sweep replicates
+//! them through the same parallel machinery
+//! ([`replicate_outcomes`](bib_parallel::replicate_outcomes)) as every
+//! sequential experiment, honouring `--threads`.
+//!
 //! ```text
-//! cargo run --release -p bib-bench --bin parallel_rounds [-- --quick --csv]
+//! cargo run --release -p bib-bench --bin parallel_rounds [-- --quick --csv --threads <n>]
 //! ```
 
-use bib_analysis::Welford;
 use bib_bench::{f, ExpArgs, Table};
+use bib_core::prelude::*;
 use bib_parallel::protocols::{log_star, BoundedLoad, Collision, ParallelGreedy};
-use bib_rng::SeedSequence;
+use bib_parallel::replicate::summarize_metric;
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -22,6 +29,7 @@ fn main() {
 
     println!("# Parallel protocols at m = n; {reps} reps\n");
     let mut table = Table::new(vec![
+        "scenario",
         "n",
         "log*",
         "bl_rounds",
@@ -36,47 +44,25 @@ fn main() {
 
     for &e in &exps {
         let n = 1usize << e;
-        let mut blr = Welford::new();
-        let mut blm = Welford::new();
-        let mut blmax = Welford::new();
-        let mut cor = Welford::new();
-        let mut com = Welford::new();
-        let mut comax = Welford::new();
-        let mut pg1 = Welford::new();
-        let mut pg4 = Welford::new();
-        for rep in 0..reps {
-            let mut rng = SeedSequence::new(args.seed)
-                .child(e as u64)
-                .child(rep)
-                .rng();
-            let bl = BoundedLoad::new(2).run(n, n as u64, &mut rng);
-            bl.validate();
-            blr.push(bl.rounds as f64);
-            blm.push(bl.messages_per_ball());
-            blmax.push(bl.max_load() as f64);
-            let co = Collision::new(1).run(n, n as u64, &mut rng);
-            co.validate();
-            cor.push(co.rounds as f64);
-            com.push(co.messages_per_ball());
-            comax.push(co.max_load() as f64);
-            let g1 = ParallelGreedy::new(2, 1, 1).run(n, n as u64, &mut rng);
-            g1.validate();
-            pg1.push(g1.max_load() as f64);
-            let g4 = ParallelGreedy::new(2, 4, 1).run(n, n as u64, &mut rng);
-            g4.validate();
-            pg4.push(g4.max_load() as f64);
-        }
+        let cfg = RunConfig::new(n, n as u64);
+        let spec = args.replicate_spec(reps);
+        let bl = replicate_outcomes(&BoundedLoad::new(2), &cfg, &spec);
+        let co = replicate_outcomes(&Collision::new(1), &cfg, &spec);
+        let g1 = replicate_outcomes(&ParallelGreedy::new(2, 1, 1), &cfg, &spec);
+        let g4 = replicate_outcomes(&ParallelGreedy::new(2, 4, 1), &cfg, &spec);
+        let scenario = bl[0].scenario.label();
         table.row(vec![
+            scenario.to_string(),
             n.to_string(),
             log_star(n as f64).to_string(),
-            f(blr.mean()),
-            f(blm.mean()),
-            f(blmax.mean()),
-            f(cor.mean()),
-            f(com.mean()),
-            f(comax.mean()),
-            f(pg1.mean()),
-            f(pg4.mean()),
+            f(summarize_metric(&bl, |o| o.rounds() as f64).mean),
+            f(summarize_metric(&bl, |o| o.messages_per_ball()).mean),
+            f(summarize_metric(&bl, |o| o.max_load() as f64).mean),
+            f(summarize_metric(&co, |o| o.rounds() as f64).mean),
+            f(summarize_metric(&co, |o| o.messages_per_ball()).mean),
+            f(summarize_metric(&co, |o| o.max_load() as f64).mean),
+            f(summarize_metric(&g1, |o| o.max_load() as f64).mean),
+            f(summarize_metric(&g4, |o| o.max_load() as f64).mean),
         ]);
     }
 

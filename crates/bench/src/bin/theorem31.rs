@@ -12,7 +12,7 @@
 use bib_analysis::Welford;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -33,11 +33,7 @@ fn main() {
         for &phi in &phis {
             let m = phi * n as u64;
             let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
-            let outs = replicate_outcomes(
-                &Adaptive::paper(),
-                &cfg,
-                &ReplicateSpec::new(reps, args.seed),
-            );
+            let outs = replicate_outcomes(&Adaptive::paper(), &cfg, &args.replicate_spec(reps));
             let mut w = Welford::new();
             let mut worst: f64 = 0.0;
             for o in &outs {

@@ -13,7 +13,7 @@
 use bib_analysis::Welford;
 use bib_bench::{f, ExpArgs, Table};
 use bib_core::prelude::*;
-use bib_parallel::{replicate_outcomes, ReplicateSpec};
+use bib_parallel::replicate_outcomes;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -34,7 +34,7 @@ fn main() {
             let m = phi * n as u64;
             let env = (m as f64).powf(0.75) * (n as f64).powf(0.25);
             let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Jump));
-            let outs = replicate_outcomes(&Threshold, &cfg, &ReplicateSpec::new(reps, args.seed));
+            let outs = replicate_outcomes(&Threshold, &cfg, &args.replicate_spec(reps));
             let mut excess = Welford::new();
             let mut norm = Welford::new();
             for o in &outs {

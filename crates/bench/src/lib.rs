@@ -11,8 +11,13 @@
 //! * `--reps <u64>` — override the replicate count;
 //! * `--engine <faithful|jump|level-batched|histogram|auto>` — override
 //!   the simulation engine (threshold-style protocols support all five;
-//!   `one-choice`/`greedy[d]` additionally understand `histogram` and
-//!   `auto`);
+//!   `one-choice`/`greedy[d]` and the weighted family additionally
+//!   understand `histogram` and `auto`);
+//! * `--threads <n>` — worker threads for replicated/parallel cells
+//!   (default: machine parallelism; `1` forces serial execution);
+//! * `--out <path>` — write the tables (in the chosen format) to a file
+//!   instead of stdout; commentary stays on stdout. Multiple tables
+//!   append in order;
 //! * `--csv` — emit machine-readable CSV instead of an aligned table.
 
 #![forbid(unsafe_code)]
@@ -21,7 +26,7 @@
 use bib_core::protocol::Engine;
 
 /// Parsed command-line options shared by all experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpArgs {
     /// Shrink the experiment for a smoke run.
     pub quick: bool,
@@ -31,28 +36,56 @@ pub struct ExpArgs {
     pub reps: Option<u64>,
     /// Engine override for threshold-style protocols.
     pub engine: Option<Engine>,
+    /// Worker-thread override for replicated cells (`Some(1)` = serial).
+    pub threads: Option<usize>,
+    /// Table output path (`None` = stdout).
+    pub out: Option<String>,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Whether the `--out` file has been started (first emit truncates,
+    /// later emits append) — interior state so a long run never leaves
+    /// a destroyed file behind before it has something to write.
+    out_started: std::cell::Cell<bool>,
 }
 
 impl Default for ExpArgs {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExpArgs {
+    /// The defaults every binary starts from (seed 2013, full sizes,
+    /// stdout tables).
+    pub fn new() -> Self {
         Self {
             quick: false,
             seed: 2013,
             reps: None,
             engine: None,
+            threads: None,
+            out: None,
             csv: false,
+            out_started: std::cell::Cell::new(false),
         }
     }
-}
 
-impl ExpArgs {
     /// Parses `std::env::args`, panicking with a usage message on
     /// unknown flags (these are internal tools; fail loudly).
     pub fn parse() -> Self {
-        let mut out = Self::default();
-        let mut args = std::env::args().skip(1);
+        Self::parse_with(|_, _| false)
+    }
+
+    /// [`ExpArgs::parse`] with an escape hatch for binary-specific
+    /// flags: `extra(flag, args)` returns `true` if it consumed the
+    /// flag (pulling any value from `args` itself).
+    pub fn parse_with<F>(mut extra: F) -> Self
+    where
+        F: FnMut(&str, &mut std::env::Args) -> bool,
+    {
+        let mut out = Self::new();
+        let mut args = std::env::args();
+        args.next(); // program name
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
@@ -71,16 +104,30 @@ impl ExpArgs {
                     );
                 }
                 "--engine" => {
-                    out.engine = Some(
+                    out.engine =
+                        Some(args.next().and_then(|v| v.parse().ok()).expect(
+                            "--engine needs faithful, jump, level-batched, histogram or auto",
+                        ));
+                }
+                "--threads" => {
+                    out.threads = Some(
                         args.next()
                             .and_then(|v| v.parse().ok())
-                            .expect("--engine needs faithful, jump or level-batched"),
+                            .expect("--threads needs a positive integer"),
                     );
                 }
-                other => panic!(
-                    "unknown flag {other}; supported: --quick --csv --seed <u64> --reps <u64> \
-                     --engine <faithful|jump|level-batched|histogram|auto>"
-                ),
+                "--out" => {
+                    out.out = Some(args.next().expect("--out needs a path"));
+                }
+                other => {
+                    if !extra(other, &mut args) {
+                        panic!(
+                            "unknown flag {other}; supported: --quick --csv --seed <u64> \
+                             --reps <u64> --engine <faithful|jump|level-batched|histogram|auto> \
+                             --threads <n> --out <path>"
+                        )
+                    }
+                }
             }
         }
         out
@@ -98,12 +145,50 @@ impl ExpArgs {
         self.engine.unwrap_or(default)
     }
 
+    /// Worker threads for replicated cells: explicit `--threads` wins,
+    /// else machine parallelism.
+    pub fn threads_or_available(&self) -> usize {
+        self.threads.unwrap_or_else(bib_parallel::available_threads)
+    }
+
+    /// A [`bib_parallel::ReplicateSpec`] honouring `--threads`.
+    pub fn replicate_spec(&self, reps: u64) -> bib_parallel::ReplicateSpec {
+        let spec = bib_parallel::ReplicateSpec::new(reps, self.seed);
+        match self.threads {
+            Some(t) => spec.with_threads(t),
+            None => spec,
+        }
+    }
+
     /// Picks any size parameter by mode.
     pub fn pick<T>(&self, full: T, quick: T) -> T {
         if self.quick {
             quick
         } else {
             full
+        }
+    }
+
+    /// Emits one rendered table (or any other payload) to the sink the
+    /// flags selected: written to `--out` if given (first emit truncates,
+    /// the rest of the run appends — so an interrupted run never leaves
+    /// an emptied file behind), stdout otherwise.
+    pub fn emit(&self, payload: &str) {
+        match &self.out {
+            None => print!("{payload}"),
+            Some(path) => {
+                use std::io::Write as _;
+                let first = !self.out_started.replace(true);
+                let mut f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .truncate(first)
+                    .append(!first)
+                    .write(true)
+                    .open(path)
+                    .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+                f.write_all(payload.as_bytes())
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            }
         }
     }
 }
@@ -186,12 +271,12 @@ impl Table {
         s
     }
 
-    /// Prints in the format selected by `args`.
+    /// Emits in the format selected by `args`, to stdout or `--out`.
     pub fn print(&self, args: &ExpArgs) {
         if args.csv {
-            print!("{}", self.csv());
+            args.emit(&self.csv());
         } else {
-            print!("{}", self.render());
+            args.emit(&self.render());
         }
     }
 }
@@ -234,27 +319,65 @@ mod tests {
 
     #[test]
     fn args_defaults_and_pick() {
-        let a = ExpArgs::default();
+        let a = ExpArgs::new();
         assert_eq!(a.seed, 2013);
         assert_eq!(a.reps_or(100, 5), 100);
         assert_eq!(a.pick(10, 1), 10);
         assert_eq!(a.engine_or(Engine::Jump), Engine::Jump);
+        assert!(a.threads.is_none());
+        assert!(a.out.is_none());
         let e = ExpArgs {
             engine: Some(Engine::LevelBatched),
-            ..ExpArgs::default()
+            ..ExpArgs::new()
         };
         assert_eq!(e.engine_or(Engine::Jump), Engine::LevelBatched);
         let q = ExpArgs {
             quick: true,
-            ..ExpArgs::default()
+            ..ExpArgs::new()
         };
         assert_eq!(q.reps_or(100, 5), 5);
         assert_eq!(q.pick(10, 1), 1);
         let r = ExpArgs {
             reps: Some(7),
-            ..ExpArgs::default()
+            ..ExpArgs::new()
         };
         assert_eq!(r.reps_or(100, 5), 7);
+    }
+
+    #[test]
+    fn replicate_spec_honours_threads() {
+        let a = ExpArgs {
+            threads: Some(3),
+            ..ExpArgs::new()
+        };
+        let spec = a.replicate_spec(10);
+        assert_eq!(spec.threads, Some(3));
+        assert_eq!(spec.reps, 10);
+        assert_eq!(spec.seed, 2013);
+        let b = ExpArgs::new();
+        assert_eq!(b.replicate_spec(4).threads, None);
+    }
+
+    #[test]
+    fn emit_truncates_on_first_write_then_appends() {
+        let path = std::env::temp_dir().join(format!("bib_bench_out_{}", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        // Stale content from a previous run survives until the first
+        // emit (an interrupted run must not leave an emptied file) …
+        std::fs::write(&path, "stale\n").unwrap();
+        let a = ExpArgs {
+            out: Some(path_str.clone()),
+            csv: true,
+            ..ExpArgs::new()
+        };
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["1"]);
+        t.print(&a);
+        t.print(&a);
+        // … and then the first write replaced it, later writes append.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x\n1\nx\n1\n");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -268,14 +268,29 @@ fn bench_json_smoke_writes_valid_json() {
     assert!(echo.contains("level-batched"));
     assert!(echo.contains("histogram"));
     let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
-    assert!(json.contains("\"schema\": \"bib-bench/engines/v2\""));
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v3\""));
     assert!(json.contains("\"host\""), "host metadata missing");
     assert!(json.contains("\"threads\""), "thread count missing");
     assert!(json.contains("\"rustc\""), "rustc version missing");
     // Full matrix: 3 sizes x (4 engines + auto) x 2 protocols, plus the
-    // fixed-sample block at the heavy size: 2 protocols x 3 engines.
-    assert_eq!(json.matches("\"protocol\"").count(), 36);
-    for engine in ["faithful", "jump", "level-batched", "histogram", "auto"] {
+    // fixed-sample block at the heavy size (2 protocols x 3 engines),
+    // the weighted block (3 weight shapes x (3 adaptive engines + 1
+    // one-choice row)) and the two parallel-round rows.
+    assert_eq!(json.matches("\"protocol\"").count(), 50);
+    // Schema v3: every row is tagged with its scenario.
+    assert_eq!(
+        json.matches("\"protocol\"").count(),
+        json.matches("\"scenario\"").count(),
+        "every row must carry a scenario tag"
+    );
+    for engine in [
+        "faithful",
+        "jump",
+        "level-batched",
+        "histogram",
+        "auto",
+        "rounds",
+    ] {
         assert!(
             json.contains(&format!("\"engine\": \"{engine}\"")),
             "missing engine {engine}"
@@ -285,6 +300,27 @@ fn bench_json_smoke_writes_valid_json() {
         assert!(
             json.contains(&format!("\"protocol\": \"{protocol}\"")),
             "missing fixed-sample protocol {protocol}"
+        );
+    }
+    for scenario in ["uniform", "weighted", "parallel"] {
+        assert!(
+            json.contains(&format!("\"scenario\": \"{scenario}\"")),
+            "missing scenario {scenario}"
+        );
+    }
+    // Weighted rows are keyed by their weight shape so the three shape
+    // groups stay distinguishable; parallel rows by protocol name.
+    for protocol in [
+        "weighted-adaptive[near-degenerate]",
+        "weighted-adaptive[two-class]",
+        "weighted-adaptive[power-law-16]",
+        "weighted-one-choice[two-class]",
+        "bounded-load(cap=2)",
+        "collision(c=1)",
+    ] {
+        assert!(
+            json.contains(&format!("\"protocol\": \"{protocol}\"")),
+            "missing scenario-family protocol {protocol}"
         );
     }
     std::fs::remove_file(&out_path).ok();

@@ -79,7 +79,9 @@ impl Protocol for BatchedAdaptive {
             self.batch,
             cfg.n
         );
-        allocate_scheduled(self, cfg, rng, obs)
+        let mut out = allocate_scheduled(self, cfg, rng, obs);
+        out.scenario = crate::scenario::Scenario::batched(self.batch);
+        out
     }
 }
 

@@ -68,12 +68,18 @@
 
 use crate::level_batched::{BatchStats, ThresholdSchedule};
 use crate::protocol::{Observer, Outcome, RunConfig};
+use crate::scenario::Scenario;
 use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler};
 use bib_rng::{Rng64, RngExt};
 
 /// Below this many remaining balls a batched round stops paying for its
 /// fixed `O(#levels)` cost and the exact per-ball tail takes over.
 const ROUND_CUTOFF: u64 = 32;
+
+/// Multiplicity groups of at most this many bins are assigned to their
+/// levels one bin at a time (exact sequential hypergeometric); larger
+/// groups run the level chain, whose draws amortise over the group.
+const PER_HIT_SPLIT: u64 = 8;
 
 /// Classes with at most this many bins scatter their hits with an exact
 /// per-bin binomial chain, so small runs never touch the approximate
@@ -91,7 +97,7 @@ const EXACT_HITS: u64 = 64;
 /// error `O(1/√var)`, bias-free — validated by the chi-square suite),
 /// capping the `O(√var)` cost of the mode-centred inversion on the
 /// per-stage hot path.
-const SPLIT_NORMAL_VAR: f64 = 16.0;
+const SPLIT_NORMAL_VAR: f64 = 4.0;
 
 /// Exact-summation ceiling for the negative-binomial allocation-time
 /// draw of a round; larger rounds use the CLT limit. Lower than the
@@ -325,8 +331,9 @@ fn cheap_std_normal<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
 
 /// `Binomial(n, p)` for the wide conditional splits: exact while the
 /// variance is moderate, rounded-normal (clamped to the support) above
-/// [`SPLIT_NORMAL_VAR`].
-fn split_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+/// [`SPLIT_NORMAL_VAR`]. Shared with the weight-class engine's
+/// cross-class intake splits.
+pub(crate) fn split_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     if n == 0 || p <= 0.0 {
         return 0;
     }
@@ -435,6 +442,29 @@ fn scatter_class<R: Rng64 + ?Sized>(
         return kept;
     }
 
+    if cap == Some(1) {
+        // Saturated top level: every hit bin keeps exactly one ball, so
+        // the scatter collapses to the *distinct-bin count* `D` —
+        // promote `D` bins one level, return `D`. Mean and variance of
+        // `D` are closed-form (`q1 = (1−1/c)^h`, `q2 = (1−2/c)^h`):
+        //
+        //   E[D]   = c(1−q1)
+        //   Var[D] = c(q1−q2) + c²(q2−q1²)
+        //
+        // and the draw is a rounded normal — the same moment-exact
+        // approximation family as the cell walk it replaces (this path
+        // only fires above the exact-path thresholds), an order of
+        // magnitude cheaper on the hot top level where most hits land.
+        let lam = 1.0 / c as f64;
+        let q1 = (h as f64 * (-lam).ln_1p()).exp();
+        let q2 = (h as f64 * (-2.0 * lam).ln_1p()).exp();
+        let mean = c as f64 * (1.0 - q1);
+        let var = (c as f64 * (q1 - q2) + (c as f64) * (c as f64) * (q2 - q1 * q1)).max(0.0);
+        let draw = (mean + var.sqrt() * cheap_std_normal(rng)).round();
+        let d = (draw.max(1.0) as u64).min(c).min(h);
+        hist.promote(l, d, 1);
+        return d;
+    }
     // Occupancy-cell sampling. Each bin's hit count is marginally
     // `Bin(h, 1/c)`; drawing cell `j` as `Binomial(c_rem, pmf_j/tail_j)`
     // makes `(N_0, N_1, …)` an exact multinomial over that marginal —
@@ -579,7 +609,7 @@ fn scatter_class<R: Rng64 + ?Sized>(
         }
         let mut want = (d as u128).min(pool as u128) as u64;
         d -= want as i128;
-        if want <= 64 {
+        if want <= 8 {
             // The typical drift is a handful of balls: single moves with
             // one uniform donor pick each (still ∝ cell sizes) beat the
             // binomial-chain pass by an order of magnitude.
@@ -659,7 +689,7 @@ fn scatter_class<R: Rng64 + ?Sized>(
         }
         let mut want = ((-d) as u128).min(pool as u128) as u64;
         d += want as i128;
-        if want <= 64 {
+        if want <= 8 {
             // Single-move fast path, mirroring the down-move repair.
             while want > 0 {
                 let mut r = rng.range_u64(pool);
@@ -750,8 +780,10 @@ fn scatter_class<R: Rng64 + ?Sized>(
 /// One batched round: throws `thrown` balls uniformly over the bins
 /// open under `t` at round start, splitting the intake across occupancy
 /// classes with conditional binomials. Returns the number of balls kept
-/// (the overflow re-enters the caller's loop).
-fn round_uniform<R: Rng64 + ?Sized>(
+/// (the overflow re-enters the caller's loop). Shared with the
+/// weight-class engine in [`crate::weighted`], which runs one such
+/// round per weight class.
+pub(crate) fn round_uniform<R: Rng64 + ?Sized>(
     hist: &mut OccupancyHistogram,
     t: Option<u32>,
     thrown: u64,
@@ -759,41 +791,319 @@ fn round_uniform<R: Rng64 + ?Sized>(
     hit_scratch: &mut Vec<u64>,
     rng: &mut R,
 ) -> u64 {
-    // Snapshot the open classes: scatters promote bins upward into
-    // classes not yet visited, and the split must use round-start sizes.
+    // Snapshot the open classes *descending* by load: the mass piles up
+    // just below the bound. (Descending is promote-safe: scatters only
+    // move bins upward, so a class's count still equals its snapshot
+    // when its turn comes.)
     scratch.clear();
     let mut k = 0u64;
-    for (i, &c) in hist.counts.iter().enumerate() {
-        let l = hist.base + i as u32;
-        if let Some(t) = t {
-            if l >= t {
-                break;
+    let top = match t {
+        Some(t) => {
+            if t <= hist.base {
+                0
+            } else {
+                ((t - hist.base) as usize).min(hist.counts.len())
             }
         }
+        None => hist.counts.len(),
+    };
+    for i in (0..top).rev() {
+        let c = hist.counts[i];
         if c > 0 {
-            scratch.push((l, c));
+            scratch.push((hist.base + i as u32, c));
             k += c;
         }
     }
     debug_assert!(k > 0, "round_uniform: no open bin");
-    let mut rem_hits = thrown;
-    let mut rem_bins = k;
-    let mut kept = 0u64;
-    for &(l, c) in scratch.iter() {
-        if rem_hits == 0 {
-            break;
+
+    if thrown == 0 {
+        return 0;
+    }
+    // Small cases take the exact per-level route (chain of conditional
+    // binomials + scatter_class, which is fully exact below its own
+    // thresholds) — the global-occupancy fast path below only fires in
+    // the approximate regime it shares with the cell walk.
+    if k <= EXACT_BINS || thrown <= EXACT_HITS || scratch.len() == 1 {
+        let mut rem_hits = thrown;
+        let mut rem_bins = k;
+        let mut kept = 0u64;
+        for &(l, c) in scratch.iter() {
+            if rem_hits == 0 {
+                break;
+            }
+            let h = if rem_bins == c {
+                rem_hits
+            } else {
+                split_binomial(rem_hits, c as f64 / rem_bins as f64, rng)
+            };
+            rem_hits -= h;
+            rem_bins -= c;
+            let cap = t.map(|t| t - l);
+            kept += scatter_class(hist, l, c, h, cap, hit_scratch, rng);
         }
-        let h = if rem_bins == c {
-            rem_hits
-        } else {
-            split_binomial(rem_hits, c as f64 / rem_bins as f64, rng)
+        return kept;
+    }
+
+    // Global-occupancy route: resolve the hit multiplicities once over
+    // the *whole* open set (`cells[j]` = bins receiving exactly `j`
+    // hits, drawn by the same hazard walk the per-level scatter uses),
+    // then place each multiplicity group across the levels with a
+    // without-replacement (hypergeometric) chain. Equivalent
+    // decomposition of the same multinomial, but the per-round cost
+    // drops from O(levels · cells) draws to O(levels + cells): with the
+    // adaptive lag distribution spanning ~log n levels this is the
+    // difference between the engine being level-bound and hit-bound.
+    let cells = hit_scratch;
+    draw_occupancy_cells(k, thrown, cells, rng);
+    let mut kept = 0u64;
+    // Remaining unassigned bins per level (parallel to `scratch`).
+    let mut rem_total = k;
+    // j descending so the small multiplicity groups (per-hit exact
+    // assignment) run first only if... order is irrelevant for the
+    // sequential conditioning; descending keeps the big j==1 group last
+    // so its chain sees the true remaining counts.
+    for j in (1..cells.len()).rev() {
+        let nj = cells[j];
+        if nj == 0 {
+            continue;
+        }
+        let keep_at = |cap: Option<u32>| -> u64 {
+            match cap {
+                None => j as u64,
+                Some(q) => (j as u64).min(q as u64),
+            }
         };
-        rem_hits -= h;
-        rem_bins -= c;
-        let cap = t.map(|t| t - l);
-        kept += scatter_class(hist, l, c, h, cap, hit_scratch, rng);
+        if nj <= PER_HIT_SPLIT {
+            // Assign each multi-hit bin its level directly, without
+            // replacement (exact).
+            for _ in 0..nj {
+                let mut r = rng.range_u64(rem_total);
+                for &mut (l, ref mut c) in scratch.iter_mut() {
+                    if r < *c {
+                        let cap = t.map(|t| t - l);
+                        let keep = keep_at(cap) as u32;
+                        hist.promote(l, 1, keep);
+                        kept += keep as u64;
+                        *c -= 1;
+                        rem_total -= 1;
+                        break;
+                    }
+                    r -= *c;
+                }
+            }
+            continue;
+        }
+        // Hypergeometric chain over the levels: level i receives
+        // H_i ~ Hypergeom(rem_total, c_i, nj_rem), drawn as a
+        // rounded-normal with the exact mean and finite-population
+        // variance, clamped to the support (the same moment-exact
+        // approximation family as the cell walk; nj > PER_HIT_SPLIT
+        // keeps the normal regime honest).
+        let mut nj_rem = nj;
+        let mut pool = rem_total;
+        #[allow(clippy::needless_range_loop)] // scratch[idx] is mutated below
+        for idx in 0..scratch.len() {
+            if nj_rem == 0 {
+                break;
+            }
+            let (l, c) = scratch[idx];
+            if c == 0 {
+                continue;
+            }
+            let h_i = if pool == c {
+                nj_rem.min(c)
+            } else {
+                let f = c as f64 / pool as f64;
+                let mean = nj_rem as f64 * f;
+                let fpc = (pool - nj_rem) as f64 / (pool - 1).max(1) as f64;
+                let var = mean * (1.0 - f) * fpc;
+                let lo = nj_rem.saturating_sub(pool - c);
+                let hi = nj_rem.min(c);
+                if var < SPLIT_NORMAL_VAR {
+                    // Narrow split: an exact binomial draw (the
+                    // without-replacement correction is within the
+                    // clamp) keeps the randomness a rounded mean would
+                    // destroy — deterministic rounding here starves
+                    // low-count levels of promotions forever.
+                    split_binomial(nj_rem, f, rng).clamp(lo, hi)
+                } else {
+                    let draw = (mean + var.sqrt() * cheap_std_normal(rng)).round();
+                    ((draw.max(0.0)) as u64).clamp(lo, hi)
+                }
+            };
+            if h_i > 0 {
+                let cap = t.map(|t| t - l);
+                let keep = keep_at(cap) as u32;
+                hist.promote(l, h_i, keep);
+                kept += keep as u64 * h_i;
+                scratch[idx].1 -= h_i;
+                rem_total -= h_i;
+                nj_rem -= h_i;
+            }
+            pool -= c;
+        }
+        debug_assert!(nj_rem == 0, "hypergeometric chain left bins unassigned");
     }
     kept
+}
+
+/// Draws the occupancy pattern of `h` uniform hits over `k`
+/// exchangeable bins: `cells[j]` = number of bins receiving exactly `j`
+/// hits. The same hazard walk over the `Bin(h, 1/k)` marginal as the
+/// capped per-level scatter, with the drift of `Σ j·cells[j]` repaired
+/// toward exactly `h` by proportional single-level moves (no caps here:
+/// capping happens level-wise in the caller).
+fn draw_occupancy_cells<R: Rng64 + ?Sized>(k: u64, h: u64, cells: &mut Vec<u64>, rng: &mut R) {
+    cells.clear();
+    let mut c_rem = k;
+    let mut pmf = if h <= i32::MAX as u64 {
+        (1.0 - 1.0 / k as f64).powi(h as i32)
+    } else {
+        0.0
+    };
+    let mut log_mode = pmf < 1e-290;
+    let mut ln_pmf = if log_mode {
+        h as f64 * (-1.0 / k as f64).ln_1p()
+    } else {
+        0.0
+    };
+    if log_mode {
+        pmf = ln_pmf.exp();
+    }
+    let mut tail = 1.0f64;
+    while c_rem > 0 {
+        let j = cells.len() as u64;
+        if j >= h || tail < 1e-12 {
+            cells.push(c_rem);
+            break;
+        }
+        let hazard = if tail <= pmf {
+            1.0
+        } else {
+            (pmf / tail).clamp(0.0, 1.0)
+        };
+        let nj = if hazard == 0.0 {
+            0
+        } else {
+            split_binomial(c_rem, hazard, rng)
+        };
+        cells.push(nj);
+        c_rem -= nj;
+        tail = (tail - pmf).max(0.0);
+        let num = (h - j) as f64;
+        let den = (j + 1) as f64 * (k - 1) as f64;
+        if log_mode {
+            ln_pmf += num.ln() - den.ln();
+            pmf = ln_pmf.exp();
+            log_mode = pmf < 1e-290;
+        } else {
+            pmf *= num / den;
+        }
+    }
+    // Repair Σ j·cells[j] toward exactly h with single-level moves
+    // apportioned proportionally over the donor cells.
+    let consumed = |cells: &[u64]| -> u64 {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(j, &nj)| j as u64 * nj)
+            .sum::<u64>()
+    };
+    let mut d = consumed(cells) as i128 - h as i128;
+    while d > 0 {
+        let mut pool: u64 = cells[1..].iter().sum();
+        if pool == 0 {
+            break;
+        }
+        let mut want = (d as u128).min(pool as u128) as u64;
+        d -= want as i128;
+        if want > 16 {
+            // Proportional chain pass: one conditional binomial per
+            // donor cell moves the bulk of the drift in O(cells) draws
+            // (the typical drift is Θ(√h) — per-move repair would put a
+            // √h · cells term on every round).
+            for i in 1..cells.len() {
+                if want == 0 {
+                    break;
+                }
+                let mi = if pool == cells[i] {
+                    want
+                } else {
+                    split_binomial(want, cells[i] as f64 / pool as f64, rng)
+                }
+                .min(cells[i]);
+                pool -= cells[i];
+                cells[i] -= mi;
+                cells[i - 1] += mi;
+                want -= mi;
+            }
+            pool = cells[1..].iter().sum();
+        }
+        while want > 0 && pool > 0 {
+            let mut r = rng.range_u64(pool);
+            for i in 1..cells.len() {
+                if r < cells[i] {
+                    cells[i] -= 1;
+                    cells[i - 1] += 1;
+                    break;
+                }
+                r -= cells[i];
+            }
+            pool -= 1;
+            want -= 1;
+        }
+        d += want as i128;
+    }
+    while d < 0 {
+        let mut pool: u64 = cells.iter().sum();
+        if pool == 0 {
+            break;
+        }
+        let mut want = ((-d) as u128).min(pool as u128) as u64;
+        d += want as i128;
+        if want > 16 {
+            // Descending apply: cell i+1 has already donated before it
+            // receives from cell i.
+            for i in (0..cells.len()).rev() {
+                if want == 0 {
+                    break;
+                }
+                pool -= cells[i];
+                let mi = if pool == 0 {
+                    want
+                } else {
+                    split_binomial(want, cells[i] as f64 / (pool + cells[i]) as f64, rng)
+                }
+                .min(cells[i]);
+                if mi > 0 {
+                    cells[i] -= mi;
+                    if i + 1 == cells.len() {
+                        cells.push(0);
+                    }
+                    cells[i + 1] += mi;
+                    want -= mi;
+                }
+            }
+            pool = cells.iter().sum();
+        }
+        while want > 0 && pool > 0 {
+            let mut r = rng.range_u64(pool);
+            for i in 0..cells.len() {
+                if r < cells[i] {
+                    cells[i] -= 1;
+                    if i + 1 == cells.len() {
+                        cells.push(0);
+                    }
+                    cells[i + 1] += 1;
+                    break;
+                }
+                r -= cells[i];
+            }
+            pool -= 1;
+            want -= 1;
+        }
+        d -= want as i128;
+    }
 }
 
 /// Places `count` balls under the uniform-below-`t` rule (`None` = the
@@ -941,7 +1251,7 @@ pub fn place_least_of_d<R: Rng64 + ?Sized>(
 }
 
 /// A uniform random permutation of `0..n` (Fisher–Yates).
-fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
+pub(crate) fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     for i in (1..n).rev() {
         perm.swap(i, rng.range_usize(i + 1));
@@ -1019,6 +1329,7 @@ where
         total_samples,
         max_samples_per_ball: max_samples,
         loads: materialize(&hist, &perm),
+        scenario: Scenario::default(),
     }
 }
 

@@ -43,6 +43,7 @@
 use crate::partitioned::PartitionedBins;
 use crate::protocol::{drive_sequential, Engine, Observer, Outcome, Protocol, RunConfig};
 use crate::sampler::place_below;
+use crate::scenario::Scenario;
 use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler, Normal};
 use bib_rng::{Rng64, RngExt};
 
@@ -300,6 +301,7 @@ where
         total_samples,
         max_samples_per_ball: max_samples,
         loads: bins.to_load_vector().into_loads(),
+        scenario: Scenario::default(),
     }
 }
 

@@ -65,6 +65,7 @@ pub mod protocol;
 pub mod protocols;
 pub mod run;
 pub mod sampler;
+pub mod scenario;
 pub mod weighted;
 
 /// Convenient glob-import surface for examples and downstream crates.
@@ -83,5 +84,6 @@ pub mod prelude {
         TieBreak,
     };
     pub use crate::run::{run_protocol, run_replicates};
+    pub use crate::scenario::{scenario_protocol, Family, Scenario, WeightedSchedule, Workload};
     pub use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
 }

@@ -6,6 +6,7 @@ use crate::partitioned::PartitionedBins;
 use crate::potential::{
     exponential_potential, gap, ln_exponential_potential, quadratic_potential, EPSILON,
 };
+use crate::scenario::Scenario;
 use bib_rng::Rng64;
 
 /// Which simulation engine a threshold-style protocol uses.
@@ -110,6 +111,21 @@ impl Engine {
             Engine::Histogram
         } else {
             Engine::Faithful
+        }
+    }
+
+    /// Resolves `Auto` for the weighted sequential family, which has two
+    /// concrete paths: the faithful per-ball alias loop and the
+    /// weight-class histogram engine (`k` = number of weight classes).
+    /// The histogram engine's segment count grows with `k·m/n`, so it
+    /// needs a few balls per (class, stage) cell to amortise; below that
+    /// — and for tiny runs — the cache-resident per-ball loop wins
+    /// (measured in `BENCH_engines.json`, `scenario = "weighted"` rows).
+    pub fn auto_weighted(n: usize, m: u64, k: usize) -> Engine {
+        if m < (1 << 13) || 4 * m < n as u64 || m < 64 * k as u64 {
+            Engine::Faithful
+        } else {
+            Engine::Histogram
         }
     }
 }
@@ -299,6 +315,10 @@ pub struct Outcome {
     pub max_samples_per_ball: u64,
     /// Final loads.
     pub loads: Vec<u32>,
+    /// Scenario annotations: weights for heterogeneous runs, rounds and
+    /// messages for parallel runs, the batch for stale-count runs. The
+    /// default is the paper's base model (uniform, sequential, online).
+    pub scenario: Scenario,
 }
 
 impl Outcome {
@@ -355,8 +375,74 @@ impl Outcome {
         ln_exponential_potential(&self.loads, self.m, EPSILON)
     }
 
-    /// Asserts internal consistency: mass conservation and that the
-    /// sample count is at least `m` (every ball needs ≥ 1 sample).
+    /// Bin `j`'s fair share of the `m` balls: `m·w_j/W` for weighted
+    /// runs, `m/n` for uniform ones. Zero-weight bins have fair share 0
+    /// (no division by their weight is ever performed).
+    pub fn fair_share(&self, j: usize) -> f64 {
+        if self.scenario.weights.is_empty() {
+            self.m as f64 / self.n as f64
+        } else {
+            let w_total: f64 = self.scenario.weights.iter().sum();
+            self.m as f64 * self.scenario.weights[j] / w_total
+        }
+    }
+
+    /// Per-bin overload `load_j − fair_share(j)` (positive = above fair
+    /// share). The weighted max-load guarantee bounds this by ≤ 2
+    /// (⌈·⌉ rounding plus the +1 slack).
+    pub fn overloads(&self) -> Vec<f64> {
+        // One pass over the weights for the total, not one per bin.
+        if self.scenario.weights.is_empty() {
+            let fair = self.m as f64 / self.n as f64;
+            return self.loads.iter().map(|&l| l as f64 - fair).collect();
+        }
+        let w_total: f64 = self.scenario.weights.iter().sum();
+        self.loads
+            .iter()
+            .zip(&self.scenario.weights)
+            .map(|(&l, &w)| l as f64 - self.m as f64 * w / w_total)
+            .collect()
+    }
+
+    /// The largest per-bin overload.
+    pub fn max_overload(&self) -> f64 {
+        self.overloads()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Weighted quadratic potential `Σ_j (load_j − fair_share_j)²`
+    /// (degenerates to Ψ up to the `m/n` centring for uniform runs).
+    pub fn weighted_psi(&self) -> f64 {
+        self.overloads().iter().map(|d| d * d).sum()
+    }
+
+    /// Synchronous rounds used (0 for sequential protocols).
+    pub fn rounds(&self) -> u32 {
+        self.scenario.rounds
+    }
+
+    /// Total messages of a parallel run (0 for sequential protocols,
+    /// which account cost in [`Outcome::total_samples`]).
+    pub fn messages(&self) -> u64 {
+        self.scenario.messages
+    }
+
+    /// Messages per ball — O(1) is the headline of the bounded-load
+    /// related work; 0 for sequential protocols.
+    pub fn messages_per_ball(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.scenario.messages as f64 / self.m as f64
+        }
+    }
+
+    /// Asserts internal consistency: mass conservation, that the sample
+    /// count is at least `m` (every ball needs ≥ 1 sample), and that the
+    /// scenario annotations are coherent (weights match the bin count
+    /// and contain no NaN/negative entry; zero weights are legal and
+    /// divide nothing).
     pub fn validate(&self) {
         assert_eq!(self.loads.len(), self.n, "loads/n mismatch");
         assert_eq!(self.total_balls(), self.m, "mass not conserved");
@@ -368,6 +454,27 @@ impl Outcome {
                 self.m
             );
             assert!(self.max_samples_per_ball >= 1);
+        }
+        if !self.scenario.weights.is_empty() {
+            assert_eq!(self.scenario.weights.len(), self.n, "weights/n mismatch");
+            let mut w_total = 0.0f64;
+            for &w in &self.scenario.weights {
+                assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+                w_total += w;
+            }
+            assert!(w_total > 0.0, "weights sum to zero");
+            // A bin that can never be sampled can never receive a ball.
+            for (j, &w) in self.scenario.weights.iter().enumerate() {
+                if w == 0.0 {
+                    assert_eq!(self.loads[j], 0, "zero-weight bin {j} got balls");
+                }
+            }
+        }
+        if self.scenario.rounds > 0 && self.m > 0 {
+            assert!(
+                self.scenario.messages >= self.m,
+                "a parallel run needs at least one message per ball"
+            );
         }
     }
 }
@@ -500,6 +607,7 @@ where
         total_samples,
         max_samples_per_ball: max_samples,
         loads: bins.to_load_vector().into_loads(),
+        scenario: Scenario::default(),
     }
 }
 
@@ -614,6 +722,7 @@ mod tests {
             total_samples: 10,
             max_samples_per_ball: 3,
             loads: vec![2, 2, 3, 1],
+            scenario: Scenario::default(),
         };
         out.validate();
         assert_eq!(out.max_load(), 3);
@@ -636,6 +745,7 @@ mod tests {
             total_samples: 5,
             max_samples_per_ball: 1,
             loads: vec![1, 1],
+            scenario: Scenario::default(),
         }
         .validate();
     }

@@ -13,7 +13,11 @@
 //!    processes in which all unplaced balls act simultaneously — the
 //!    Adler et al. collision protocol and a Lenzen–Wattenhofer-style
 //!    bounded-load protocol, the related work the paper's Table 1
-//!    positions against.
+//!    positions against. Since the scenario-layer refactor these are
+//!    ordinary `bib_core` [`Protocol`](bib_core::protocol::Protocol)s
+//!    returning the unified outcome record (rounds and messages live in
+//!    `Outcome::scenario`), so [`replicate_outcomes`] replicates them
+//!    exactly like the sequential schemes.
 //!
 //! The executor is deliberately small (scoped threads + an atomic work
 //! index + a crossbeam channel) rather than a dependency on a full

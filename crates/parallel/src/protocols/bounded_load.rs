@@ -9,7 +9,8 @@
 //! max load exactly ≤ `cap`, a round count that grows extremely slowly
 //! with `n`, and O(1) messages per ball.
 
-use super::ParallelOutcome;
+use bib_core::protocol::{Observer, Outcome, Protocol, RunConfig};
+use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt};
 
 /// The bounded-load parallel protocol.
@@ -24,7 +25,7 @@ use bib_rng::{Rng64, RngExt};
 /// let out = BoundedLoad::new(2).run(256, 256, &mut rng); // m = n
 /// out.validate();
 /// assert!(out.max_load() <= 2);        // by construction
-/// assert!(out.rounds <= 10);           // ~log* n
+/// assert!(out.rounds() <= 10);         // ~log* n
 /// assert!(out.messages_per_ball() < 8.0);
 /// ```
 #[derive(Debug, Clone, Copy)]
@@ -49,16 +50,39 @@ impl BoundedLoad {
         self.cap
     }
 
+    /// Convenience entry point mirroring the sequential protocols'
+    /// shape: runs `m` balls into `n` bins with no observer.
+    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> Outcome {
+        self.allocate(
+            &RunConfig::new(n, m),
+            rng,
+            &mut bib_core::protocol::NullObserver,
+        )
+    }
+}
+
+impl Protocol for BoundedLoad {
+    fn name(&self) -> String {
+        format!("bounded-load(cap={})", self.cap)
+    }
+
     /// Runs the process; panics if `m > cap·n` (capacity infeasible) or
     /// if the safety round limit is exceeded (indicates a bug, not bad
-    /// luck — 64 rounds is astronomically beyond `log* n`).
-    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> ParallelOutcome {
+    /// luck — 64 rounds is astronomically beyond `log* n`). The engine
+    /// in `cfg` is ignored: round protocols have one execution path.
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let (n, m) = (cfg.n, cfg.m);
         assert!(n > 0, "need at least one bin");
         assert!(
             m <= self.cap as u64 * n as u64,
             "m = {m} exceeds total capacity {}",
             self.cap as u64 * n as u64
         );
+        let want_stages = obs.wants_stage_ends();
         let mut loads = vec![0u32; n];
         // Balls still unplaced, by id.
         let mut unplaced: Vec<u32> = (0..m as u32).collect();
@@ -67,6 +91,8 @@ impl BoundedLoad {
         // Per-bin requester lists, reused across rounds.
         let mut requests: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut contacts = 1usize; // k_r: doubles each round
+        let mut contacts_cum = 0u64; // Σ k_r — a surviving ball's sent total
+        let mut max_contacts = 0u64;
 
         while !unplaced.is_empty() {
             rounds += 1;
@@ -75,6 +101,7 @@ impl BoundedLoad {
                 "bounded-load protocol failed to converge in {} rounds",
                 self.max_rounds
             );
+            contacts_cum += contacts as u64;
             for r in requests.iter_mut() {
                 r.clear();
             }
@@ -102,18 +129,27 @@ impl BoundedLoad {
                     loads[bin] += 1;
                 }
             }
-            // Phase 3: commit placements.
+            // Phase 3: commit placements. Any ball placed this round has
+            // sent `contacts_cum` contacts so far — the per-ball max.
+            let before = unplaced.len();
             unplaced.retain(|&ball| accepted_bin[ball as usize].is_none());
+            if unplaced.len() < before {
+                max_contacts = contacts_cum;
+            }
             contacts = (contacts * 2).min(n);
+            if want_stages {
+                obs.on_stage_end(rounds as u64, &loads, m - unplaced.len() as u64);
+            }
         }
 
-        ParallelOutcome {
-            protocol: format!("bounded-load(cap={})", self.cap),
+        Outcome {
+            protocol: self.name(),
             n,
             m,
-            rounds,
-            messages,
+            total_samples: messages,
+            max_samples_per_ball: max_contacts,
             loads,
+            scenario: Scenario::rounds(rounds, messages),
         }
     }
 }
@@ -149,12 +185,12 @@ mod tests {
         let mut rng = SplitMix64::new(8);
         let small = BoundedLoad::new(2).run(1 << 8, 1 << 8, &mut rng);
         let big = BoundedLoad::new(2).run(1 << 16, 1 << 16, &mut rng);
-        assert!(small.rounds <= 12, "small rounds {}", small.rounds);
+        assert!(small.rounds() <= 12, "small rounds {}", small.rounds());
         assert!(
-            big.rounds <= small.rounds + 4,
+            big.rounds() <= small.rounds() + 4,
             "{} vs {}",
-            big.rounds,
-            small.rounds
+            big.rounds(),
+            small.rounds()
         );
     }
 
@@ -167,6 +203,21 @@ mod tests {
             "messages per ball {}",
             out.messages_per_ball()
         );
+        // The unified record mirrors messages into the allocation time.
+        assert_eq!(out.total_samples, out.messages());
+        assert!(out.max_samples_per_ball >= 1);
+    }
+
+    #[test]
+    fn round_observer_fires_once_per_round() {
+        use bib_core::protocol::StageTrace;
+        let cfg = RunConfig::new(128, 128);
+        let mut rng = SplitMix64::new(12);
+        let mut trace = StageTrace::new();
+        let out = BoundedLoad::new(2).allocate(&cfg, &mut rng, &mut trace);
+        out.validate();
+        assert_eq!(trace.stages.len(), out.rounds() as usize);
+        assert_eq!(trace.stages, (1..=out.rounds() as u64).collect::<Vec<_>>());
     }
 
     #[test]
@@ -174,8 +225,8 @@ mod tests {
         let mut rng = SplitMix64::new(10);
         let out = BoundedLoad::new(2).run(8, 0, &mut rng);
         out.validate();
-        assert_eq!(out.rounds, 0);
-        assert_eq!(out.messages, 0);
+        assert_eq!(out.rounds(), 0);
+        assert_eq!(out.messages(), 0);
     }
 
     #[test]

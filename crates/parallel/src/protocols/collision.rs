@@ -8,7 +8,8 @@
 //! `m = n` and constant `c` the expected number of unplaced balls drops
 //! doubly exponentially, giving `O(log log n)` rounds.
 
-use super::ParallelOutcome;
+use bib_core::protocol::{Observer, Outcome, Protocol, RunConfig};
+use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt};
 
 /// The collision protocol.
@@ -41,10 +42,33 @@ impl Collision {
     /// fallback kicks in.
     pub const STALL_LIMIT: u32 = 8;
 
+    /// Convenience entry point mirroring the sequential protocols'
+    /// shape: runs `m` balls into `n` bins with no observer.
+    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> Outcome {
+        self.allocate(
+            &RunConfig::new(n, m),
+            rng,
+            &mut bib_core::protocol::NullObserver,
+        )
+    }
+}
+
+impl Protocol for Collision {
+    fn name(&self) -> String {
+        format!("collision(c={})", self.c)
+    }
+
     /// Runs the process to completion; panics only if the safety round
-    /// cap (256) is hit, which indicates a bug.
-    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> ParallelOutcome {
+    /// cap (256) is hit, which indicates a bug. The engine in `cfg` is
+    /// ignored: round protocols have one execution path.
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let (n, m) = (cfg.n, cfg.m);
         assert!(n > 0, "need at least one bin");
+        let want_stages = obs.wants_stage_ends();
         let mut loads = vec![0u32; n];
         let mut unplaced = m;
         let mut messages = 0u64;
@@ -95,14 +119,21 @@ impl Collision {
             } else {
                 stalled = 0;
             }
+            if want_stages {
+                obs.on_stage_end(rounds as u64, &loads, m - unplaced);
+            }
         }
-        ParallelOutcome {
-            protocol: format!("collision(c={})", self.c),
+        Outcome {
+            protocol: self.name(),
             n,
             m,
-            rounds,
-            messages,
+            total_samples: messages,
+            // Balls are interchangeable: the worst-off ball contacted a
+            // bin once in every round (exact — some ball survives to
+            // the last placing round).
+            max_samples_per_ball: if m > 0 { rounds as u64 } else { 0 },
             loads,
+            scenario: Scenario::rounds(rounds, messages),
         }
     }
 }
@@ -118,7 +149,7 @@ mod tests {
             let mut rng = SplitMix64::new(seed);
             let out = Collision::new(1).run(512, 512, &mut rng);
             out.validate();
-            assert!(out.rounds >= 1);
+            assert!(out.rounds() >= 1);
         }
     }
 
@@ -128,7 +159,7 @@ mod tests {
         // well past n = 10⁵ (log log n ≈ 4).
         let mut rng = SplitMix64::new(6);
         let out = Collision::new(1).run(1 << 17, 1 << 17, &mut rng);
-        assert!(out.rounds <= 15, "rounds {}", out.rounds);
+        assert!(out.rounds() <= 15, "rounds {}", out.rounds());
     }
 
     #[test]
@@ -138,10 +169,10 @@ mod tests {
         let tight = Collision::new(1).run(1 << 14, 1 << 14, &mut r1);
         let loose = Collision::new(4).run(1 << 14, 1 << 14, &mut r2);
         assert!(
-            loose.rounds <= tight.rounds,
+            loose.rounds() <= tight.rounds(),
             "{} vs {}",
-            loose.rounds,
-            tight.rounds
+            loose.rounds(),
+            tight.rounds()
         );
     }
 
@@ -149,7 +180,7 @@ mod tests {
     fn max_load_bounded_by_c_times_rounds() {
         let mut rng = SplitMix64::new(8);
         let out = Collision::new(2).run(1024, 1024, &mut rng);
-        assert!(out.max_load() <= 2 * out.rounds);
+        assert!(out.max_load() <= 2 * out.rounds());
         // Empirically far smaller: a bin rarely wins twice.
         assert!(out.max_load() <= 8, "max load {}", out.max_load());
     }
@@ -159,6 +190,6 @@ mod tests {
         let mut rng = SplitMix64::new(9);
         let out = Collision::new(1).run(4, 0, &mut rng);
         out.validate();
-        assert_eq!(out.rounds, 0);
+        assert_eq!(out.rounds(), 0);
     }
 }

@@ -5,6 +5,26 @@
 //! bins answer, and the process repeats. The performance currency is
 //! *rounds* and *messages* rather than sequential samples.
 //!
+//! Since the scenario-layer refactor the round protocols are ordinary
+//! [`Protocol`](bib_core::protocol::Protocol) implementations: they run
+//! through `run_protocol`, boxed [`DynProtocol`] suites and
+//! [`replicate_outcomes`](crate::replicate_outcomes) like any sequential
+//! scheme, and return the unified
+//! [`Outcome`](bib_core::protocol::Outcome) with
+//! [`Scenario::rounds`](bib_core::scenario::Scenario) annotations
+//! (`rounds`, `messages`). The mapping onto the sequential record:
+//!
+//! * `total_samples` = total messages (the family's allocation-time
+//!   currency: every ball→bin contact and every bin→ball accept);
+//! * `max_samples_per_ball` = the largest number of *contacts* any
+//!   single ball sent (exact per protocol; accept messages excluded);
+//! * [`Observer::on_stage_end`] fires once per synchronous *round* with
+//!   the loads and the number of balls placed so far — a stage here is
+//!   a round, not `n` balls; `Observer::on_ball` never fires (balls act
+//!   simultaneously, there is no per-ball order).
+//!
+//! The families:
+//!
 //! * [`BoundedLoad`] — a Lenzen–Wattenhofer-style protocol \[12\]: bins
 //!   accept at most `cap` balls ever (max load ≤ `cap` by construction),
 //!   unplaced balls double their contact count each round; ~`log* n`
@@ -15,6 +35,9 @@
 //! * [`ParallelGreedy`] — round-restricted parallel `greedy[d]` \[1\]:
 //!   balls commit to `d` candidates, negotiate for `r` rounds, and are
 //!   force-placed at the end; balance improves with the round budget.
+//!
+//! [`DynProtocol`]: bib_core::protocol::DynProtocol
+//! [`Observer::on_stage_end`]: bib_core::protocol::Observer::on_stage_end
 
 mod bounded_load;
 mod collision;
@@ -23,49 +46,6 @@ mod parallel_greedy;
 pub use bounded_load::BoundedLoad;
 pub use collision::Collision;
 pub use parallel_greedy::ParallelGreedy;
-
-/// Outcome of a round-based parallel allocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParallelOutcome {
-    /// Protocol display name.
-    pub protocol: String,
-    /// Bins.
-    pub n: usize,
-    /// Balls (all placed on success).
-    pub m: u64,
-    /// Number of synchronous rounds used.
-    pub rounds: u32,
-    /// Total messages: every ball→bin contact and every bin→ball accept.
-    pub messages: u64,
-    /// Final loads.
-    pub loads: Vec<u32>,
-}
-
-impl ParallelOutcome {
-    /// Maximum final load.
-    pub fn max_load(&self) -> u32 {
-        self.loads.iter().copied().max().unwrap_or(0)
-    }
-
-    /// Messages per ball — O(1) is the headline of \[12\].
-    pub fn messages_per_ball(&self) -> f64 {
-        if self.m == 0 {
-            0.0
-        } else {
-            self.messages as f64 / self.m as f64
-        }
-    }
-
-    /// Asserts mass conservation.
-    pub fn validate(&self) {
-        assert_eq!(self.loads.len(), self.n);
-        assert_eq!(
-            self.loads.iter().map(|&l| l as u64).sum::<u64>(),
-            self.m,
-            "mass not conserved"
-        );
-    }
-}
 
 /// Iterated logarithm `log₂* n` — the paper \[12\]'s round complexity
 /// yardstick, used by the `parallel_rounds` experiment.
@@ -84,6 +64,9 @@ pub fn log_star(n: f64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bib_core::protocol::{Outcome, Protocol, RunConfig};
+    use bib_core::scenario::Scenario;
+    use bib_rng::SplitMix64;
 
     #[test]
     fn log_star_known_values() {
@@ -97,30 +80,47 @@ mod tests {
     }
 
     #[test]
-    fn outcome_helpers() {
-        let o = ParallelOutcome {
+    fn outcomes_carry_the_parallel_scenario() {
+        let o = Outcome {
             protocol: "x".into(),
             n: 2,
             m: 3,
-            rounds: 2,
-            messages: 9,
+            total_samples: 9,
+            max_samples_per_ball: 3,
             loads: vec![2, 1],
+            scenario: Scenario::rounds(2, 9),
         };
         o.validate();
-        assert_eq!(o.max_load(), 2);
+        assert_eq!(o.scenario.label(), "parallel");
+        assert_eq!(o.rounds(), 2);
+        assert_eq!(o.messages(), 9);
         assert!((o.messages_per_ball() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_protocols_flow_through_the_generic_protocol_api() {
+        // The point of the refactor: one entry point for every family.
+        let cfg = RunConfig::new(64, 64);
+        let mut rng = SplitMix64::new(3);
+        let out = bib_core::run::run_protocol(&BoundedLoad::new(2), &cfg, 5);
+        out.validate();
+        assert!(out.rounds() >= 1);
+        let out = Collision::new(1).allocate(&cfg, &mut rng, &mut bib_core::protocol::NullObserver);
+        out.validate();
+        assert_eq!(out.total_samples, out.messages());
     }
 
     #[test]
     #[should_panic]
     fn validate_catches_bad_mass() {
-        ParallelOutcome {
+        Outcome {
             protocol: "x".into(),
             n: 2,
             m: 5,
-            rounds: 1,
-            messages: 5,
+            total_samples: 5,
+            max_samples_per_ball: 1,
             loads: vec![1, 1],
+            scenario: Scenario::rounds(1, 5),
         }
         .validate();
     }

@@ -20,7 +20,8 @@
 //! `O(√(log n / log log n))`-ish band between one-round (= `d`-choice
 //! collision) and unrestricted `greedy[2]`.
 
-use super::ParallelOutcome;
+use bib_core::protocol::{Observer, Outcome, Protocol, RunConfig};
+use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt};
 
 /// The round-restricted parallel greedy protocol.
@@ -58,10 +59,37 @@ impl ParallelGreedy {
         self.rounds
     }
 
-    /// Runs the process; all `m` balls are placed by construction.
-    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> ParallelOutcome {
+    /// Convenience entry point mirroring the sequential protocols'
+    /// shape: runs `m` balls into `n` bins with no observer.
+    pub fn run<R: Rng64 + ?Sized>(&self, n: usize, m: u64, rng: &mut R) -> Outcome {
+        self.allocate(
+            &RunConfig::new(n, m),
+            rng,
+            &mut bib_core::protocol::NullObserver,
+        )
+    }
+}
+
+impl Protocol for ParallelGreedy {
+    fn name(&self) -> String {
+        format!(
+            "parallel-greedy(d={},r={},q={})",
+            self.d, self.rounds, self.per_round
+        )
+    }
+
+    /// Runs the process; all `m` balls are placed by construction. The
+    /// engine in `cfg` is ignored: round protocols have one execution
+    /// path.
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let (n, m) = (cfg.n, cfg.m);
         assert!(n > 0, "need at least one bin");
         assert!(m <= u32::MAX as u64, "ball ids are u32");
+        let want_stages = obs.wants_stage_ends();
         let d = self.d as usize;
         // Committed candidates, ball-major.
         let mut candidates: Vec<u32> = Vec::with_capacity(m as usize * d);
@@ -111,6 +139,9 @@ impl ParallelGreedy {
                 }
             }
             unplaced.retain(|&b| !placed[b as usize]);
+            if want_stages {
+                obs.on_stage_end(rounds_used as u64, &loads, m - unplaced.len() as u64);
+            }
         }
 
         // Final forced round — synchronous: every ball decides against
@@ -125,18 +156,21 @@ impl ParallelGreedy {
                 messages += 2; // request + forced accept
             }
             unplaced.clear();
+            if want_stages {
+                obs.on_stage_end(rounds_used as u64, &loads, m);
+            }
         }
 
-        ParallelOutcome {
-            protocol: format!(
-                "parallel-greedy(d={},r={},q={})",
-                self.d, self.rounds, self.per_round
-            ),
+        Outcome {
+            protocol: self.name(),
             n,
             m,
-            rounds: rounds_used,
-            messages,
+            total_samples: messages,
+            // The worst-off ball sent one request per round it survived;
+            // some ball survives to the last used round.
+            max_samples_per_ball: if m > 0 { rounds_used as u64 } else { 0 },
             loads,
+            scenario: Scenario::rounds(rounds_used, messages),
         }
     }
 }
@@ -151,7 +185,7 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let out = ParallelGreedy::new(2, 3, 1).run(512, 512, &mut rng);
         out.validate();
-        assert!(out.rounds <= 3);
+        assert!(out.rounds() <= 3);
     }
 
     #[test]
@@ -162,7 +196,7 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         let out = ParallelGreedy::new(2, 1, 1).run(256, 256, &mut rng);
         out.validate();
-        assert_eq!(out.rounds, 1);
+        assert_eq!(out.rounds(), 1);
     }
 
     #[test]
@@ -188,7 +222,7 @@ mod tests {
     fn messages_bounded_by_rounds_times_m() {
         let mut rng = SplitMix64::new(3);
         let out = ParallelGreedy::new(2, 4, 1).run(1024, 1024, &mut rng);
-        assert!(out.messages <= 2 * 4 * 1024);
+        assert!(out.messages() <= 2 * 4 * 1024);
     }
 
     #[test]
@@ -196,8 +230,8 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let out = ParallelGreedy::new(3, 2, 1).run(8, 0, &mut rng);
         out.validate();
-        assert_eq!(out.rounds, 0);
-        assert_eq!(out.messages, 0);
+        assert_eq!(out.rounds(), 0);
+        assert_eq!(out.messages(), 0);
     }
 
     #[test]

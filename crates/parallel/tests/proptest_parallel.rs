@@ -61,8 +61,8 @@ proptest! {
         out.validate();
         prop_assert!(out.loads.iter().all(|&l| l <= cap));
         if m > 0 {
-            prop_assert!(out.rounds >= 1);
-            prop_assert!(out.messages >= m);
+            prop_assert!(out.rounds() >= 1);
+            prop_assert!(out.messages() >= m);
         }
     }
 
@@ -79,10 +79,10 @@ proptest! {
         out.validate();
         if m > 0 {
             // Accept + request messages at least 2 per ball.
-            prop_assert!(out.messages >= 2 * m);
+            prop_assert!(out.messages() >= 2 * m);
             // Without the stall fallback each round adds ≤ c per bin; the
             // fallback can dump the remainder, so the sound bound is:
-            prop_assert!(out.max_load() as u64 <= (c as u64) * (out.rounds as u64) + m);
+            prop_assert!(out.max_load() as u64 <= (c as u64) * (out.rounds() as u64) + m);
         }
         let _ = c;
     }

@@ -7,13 +7,19 @@
 //! within one request of its fair share — the heterogeneous analogue of
 //! the paper's `⌈m/n⌉ + 1` bound.
 //!
+//! Since the scenario-layer unification the weighted dispatchers are
+//! ordinary `Protocol`s: the runs below go through `run_protocol` with
+//! `Engine::Auto`, which resolves to the *weight-class histogram
+//! engine* at this size — the per-bin weights ride along in
+//! `outcome.scenario`, and `max_overload`/`weighted_psi` read them
+//! directly off the unified `Outcome`.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example heterogeneous
 //! ```
 
-use balls_into_bins::core::weighted::{WeightedAdaptive, WeightedOneChoice};
-use balls_into_bins::rng::seed::default_rng;
+use balls_into_bins::core::prelude::*;
 
 fn main() {
     // 3 machine classes: 8 big (w=8), 24 medium (w=2), 96 small (w=1).
@@ -22,18 +28,15 @@ fn main() {
     weights.extend(std::iter::repeat_n(2.0, 24));
     weights.extend(std::iter::repeat_n(1.0, 96));
     let w_total: f64 = weights.iter().sum();
+    let n = weights.len();
     let m = 100_000u64;
 
-    println!(
-        "{} servers (8x w=8, 24x w=2, 96x w=1, total weight {w_total}), {m} requests\n",
-        weights.len()
-    );
+    println!("{n} servers (8x w=8, 24x w=2, 96x w=1, total weight {w_total}), {m} requests\n");
 
-    let mut rng = default_rng(42);
-    let ada = WeightedAdaptive::new(weights.clone()).run(m, &mut rng);
-    ada.validate();
-    let one = WeightedOneChoice::new(weights.clone()).run(m, &mut rng);
-    one.validate();
+    let cfg = RunConfig::new(n, m).with_engine(Engine::Auto);
+    let ada = run_protocol(&WeightedAdaptive::new(weights.clone()), &cfg, 42);
+    let one = run_protocol(&WeightedOneChoice::new(weights.clone()), &cfg, 42);
+    assert_eq!(ada.scenario.label(), "weighted");
 
     println!(
         "{:<22} {:>12} {:>14} {:>14}",

@@ -6,13 +6,19 @@
 //! load 2 is achievable in ~log* n rounds [12]. Watch the round count
 //! crawl as n grows by factors of 16.
 //!
+//! Since the scenario-layer unification the round protocols are plain
+//! `Protocol`s returning the same `Outcome` record as the sequential
+//! families — rounds and messages live in `outcome.scenario`, and the
+//! runs below go through the ordinary seeded `run_protocol` entry
+//! point.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example parallel_rounds
 //! ```
 
+use balls_into_bins::core::prelude::*;
 use balls_into_bins::parallel::protocols::{log_star, BoundedLoad, Collision};
-use balls_into_bins::rng::seed::default_rng;
 
 fn main() {
     println!(
@@ -25,19 +31,18 @@ fn main() {
     );
     for exp in [8u32, 12, 16, 20] {
         let n = 1usize << exp;
-        let mut rng = default_rng(exp as u64);
-        let bl = BoundedLoad::new(2).run(n, n as u64, &mut rng);
-        bl.validate();
-        let co = Collision::new(1).run(n, n as u64, &mut rng);
-        co.validate();
+        let cfg = RunConfig::new(n, n as u64);
+        let bl = run_protocol(&BoundedLoad::new(2), &cfg, exp as u64);
+        let co = run_protocol(&Collision::new(1), &cfg, exp as u64);
+        assert_eq!(bl.scenario.label(), "parallel");
         println!(
             "{:>10} {:>9} | {:>7} {:>10.2} {:>8} | {:>7} {:>10.2} {:>8}",
             n,
             log_star(n as f64),
-            bl.rounds,
+            bl.rounds(),
             bl.messages_per_ball(),
             bl.max_load(),
-            co.rounds,
+            co.rounds(),
             co.messages_per_ball(),
             co.max_load(),
         );
