@@ -11,7 +11,9 @@
 //! level-batching must beat the jump engine by ≥ 5×, and the histogram
 //! engine gates the heavy `adaptive` speedup (≥ 20× over the faithful
 //! loop's ~1.9 s on the reference machine) plus the first-ever feasible
-//! `greedy[2]` run at this size.
+//! `greedy[2]` run at this size. The `engines/parallel-heavy` group
+//! gates the round-occupancy engine at `n = m = 10⁷` for the three
+//! parallel round protocols.
 
 use bib_core::prelude::*;
 use bib_rng::SeedSequence;
@@ -155,9 +157,72 @@ fn bench_weighted_heavy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_heavy(c: &mut Criterion) {
+    // The round-occupancy engine's acceptance regime: n = m = 10⁷
+    // (the faithful per-contact baselines at 0.5–10 s/run live in
+    // BENCH_engines.json). Debug smoke shrinks the size.
+    #[cfg(debug_assertions)]
+    let n = 1 << 14;
+    #[cfg(not(debug_assertions))]
+    let n = 10_000_000usize;
+    let m = n as u64;
+    let mut group = c.benchmark_group(format!("engines/parallel-heavy n=m={n}"));
+    group.throughput(Throughput::Elements(m));
+    let cfg = RunConfig::new(n, m).with_engine(Engine::Histogram);
+    group.bench_with_input(
+        BenchmarkId::new("collision(c=1)", "histogram"),
+        &cfg,
+        |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                bib_parallel::protocols::Collision::new(1).allocate(
+                    cfg,
+                    &mut rng,
+                    &mut NullObserver,
+                )
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("bounded-load(cap=2)", "histogram"),
+        &cfg,
+        |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                bib_parallel::protocols::BoundedLoad::new(2).allocate(
+                    cfg,
+                    &mut rng,
+                    &mut NullObserver,
+                )
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("parallel-greedy[2]", "histogram"),
+        &cfg,
+        |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SeedSequence::new(seed).rng();
+                bib_parallel::protocols::ParallelGreedy::new(2, 4, 1).allocate(
+                    cfg,
+                    &mut rng,
+                    &mut NullObserver,
+                )
+            });
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_engines, bench_heavy, bench_weighted_heavy
+    targets = bench_engines, bench_heavy, bench_weighted_heavy, bench_parallel_heavy
 }
 criterion_main!(benches);

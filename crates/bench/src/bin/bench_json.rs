@@ -4,10 +4,11 @@
 //! engine (plus `auto`) at fixed sizes, `one-choice` and `greedy[2]`
 //! under their histogram fast path at the heavy size, the *weighted*
 //! family (faithful vs weight-class histogram engine, several weight
-//! shapes) and the *parallel round* protocols — one row per cell, each
-//! tagged with its `scenario` (`uniform` | `weighted` | `parallel`), and
-//! writes a machine-readable JSON record (schema v3) so the perf
-//! trajectory is tracked in-repo. The committed `BENCH_engines.json` at
+//! shapes) and the *parallel round* protocols (faithful per-contact
+//! rounds vs the round-occupancy engine at `n = m = 10⁷`) — one row per
+//! cell, each tagged with its `scenario`
+//! (`uniform` | `weighted` | `parallel`), and writes a machine-readable
+//! JSON record (schema v3) so the perf trajectory is tracked in-repo. The committed `BENCH_engines.json` at
 //! the repo root is a full run on the reference machine; CI re-runs
 //! `--quick` to catch engine regressions that break the run itself.
 //!
@@ -28,7 +29,7 @@
 use bib_bench::ExpArgs;
 use bib_core::prelude::*;
 use bib_core::run::run_protocol;
-use bib_parallel::protocols::{BoundedLoad, Collision};
+use bib_parallel::protocols::{BoundedLoad, Collision, ParallelGreedy};
 use bib_parallel::{available_threads, par_map};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -38,8 +39,7 @@ struct Spec {
     proto: Box<dyn DynProtocol + Send + Sync>,
     cfg: RunConfig,
     reps: u64,
-    /// Engine label for the row; parallel protocols have one execution
-    /// path and report "rounds".
+    /// Engine label for the row.
     engine: &'static str,
     /// Display-name override, e.g. `weighted-adaptive[two-class]` —
     /// weighted cells differ only by their weight shape, which must be
@@ -232,24 +232,36 @@ fn main() {
             name: Some(format!("weighted-one-choice[{shape}]")),
         });
     }
-    // Parallel-round rows at m = n: rounds/messages are the currency;
-    // wall time tracks the round loop.
-    let n_p = if smoke { 1 << 12 } else { 1 << 20 };
-    let cfg_p = RunConfig::new(n_p, n_p as u64);
-    specs.push(Spec {
-        proto: Box::new(BoundedLoad::new(2)),
-        cfg: cfg_p,
-        reps: 3,
-        engine: "rounds",
-        name: None,
-    });
-    specs.push(Spec {
-        proto: Box::new(Collision::new(1)),
-        cfg: cfg_p,
-        reps: 3,
-        engine: "rounds",
-        name: None,
-    });
+    // Parallel-round rows at m = n: faithful per-contact rounds vs the
+    // round-occupancy engine. The heavy size (n = m = 10⁷) is the
+    // engine's acceptance regime — the faithful path is per-contact and
+    // cache-miss-bound there, while the engine's per-round work is
+    // independent of the contact count and its residual cost is the
+    // O(n) load reconstruction.
+    let n_p = if smoke { 1 << 12 } else { 10_000_000 };
+    type MakeProto = fn() -> Box<dyn DynProtocol + Send + Sync>;
+    let parallel_protos: [MakeProto; 3] = [
+        || Box::new(Collision::new(1)),
+        || Box::new(BoundedLoad::new(2)),
+        || Box::new(ParallelGreedy::new(2, 4, 1)),
+    ];
+    for make in &parallel_protos {
+        for engine in [Engine::Faithful, Engine::Histogram, Engine::Auto] {
+            let cfg = RunConfig::new(n_p, n_p as u64).with_engine(engine);
+            let reps = if engine == Engine::Faithful && !smoke {
+                1 // the faithful rounds are seconds per rep at 10⁷
+            } else {
+                3
+            };
+            specs.push(Spec {
+                proto: make(),
+                cfg,
+                reps,
+                engine: engine.name(),
+                name: None,
+            });
+        }
+    }
 
     let threads = if serial {
         1

@@ -10,10 +10,14 @@
 //! [`Protocol`](bib_core::protocol::Protocol)s, so the sweep replicates
 //! them through the same parallel machinery
 //! ([`replicate_outcomes`](bib_parallel::replicate_outcomes)) as every
-//! sequential experiment, honouring `--threads`.
+//! sequential experiment, honouring `--threads` — and, since the
+//! round-occupancy engine, `--engine` (default `faithful`; `histogram`
+//! or `auto` run the batched rounds, which makes the full sweep's
+//! largest sizes near-instant).
 //!
 //! ```text
-//! cargo run --release -p bib-bench --bin parallel_rounds [-- --quick --csv --threads <n>]
+//! cargo run --release -p bib-bench --bin parallel_rounds \
+//!     [-- --quick --csv --threads <n> --engine <faithful|histogram|auto>]
 //! ```
 
 use bib_bench::{f, ExpArgs, Table};
@@ -42,9 +46,10 @@ fn main() {
         "pg_r4_max",
     ]);
 
+    let engine = args.engine_or(Engine::Faithful);
     for &e in &exps {
         let n = 1usize << e;
-        let cfg = RunConfig::new(n, n as u64);
+        let cfg = RunConfig::new(n, n as u64).with_engine(engine);
         let spec = args.replicate_spec(reps);
         let bl = replicate_outcomes(&BoundedLoad::new(2), &cfg, &spec);
         let co = replicate_outcomes(&Collision::new(1), &cfg, &spec);

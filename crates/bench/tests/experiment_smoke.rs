@@ -275,22 +275,16 @@ fn bench_json_smoke_writes_valid_json() {
     // Full matrix: 3 sizes x (4 engines + auto) x 2 protocols, plus the
     // fixed-sample block at the heavy size (2 protocols x 3 engines),
     // the weighted block (3 weight shapes x (3 adaptive engines + 1
-    // one-choice row)) and the two parallel-round rows.
-    assert_eq!(json.matches("\"protocol\"").count(), 50);
+    // one-choice row)) and the parallel-round block (3 protocols x
+    // {faithful, histogram, auto}).
+    assert_eq!(json.matches("\"protocol\"").count(), 57);
     // Schema v3: every row is tagged with its scenario.
     assert_eq!(
         json.matches("\"protocol\"").count(),
         json.matches("\"scenario\"").count(),
         "every row must carry a scenario tag"
     );
-    for engine in [
-        "faithful",
-        "jump",
-        "level-batched",
-        "histogram",
-        "auto",
-        "rounds",
-    ] {
+    for engine in ["faithful", "jump", "level-batched", "histogram", "auto"] {
         assert!(
             json.contains(&format!("\"engine\": \"{engine}\"")),
             "missing engine {engine}"
@@ -317,6 +311,7 @@ fn bench_json_smoke_writes_valid_json() {
         "weighted-one-choice[two-class]",
         "bounded-load(cap=2)",
         "collision(c=1)",
+        "parallel-greedy(d=2,r=4,q=1)",
     ] {
         assert!(
             json.contains(&format!("\"protocol\": \"{protocol}\"")),

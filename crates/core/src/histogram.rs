@@ -212,6 +212,87 @@ impl OccupancyHistogram {
         self.counts[(target_load - self.base) as usize] += bins;
     }
 
+    /// The live occupancy classes in ascending load order: `(load,
+    /// count)` pairs with `count > 0`. The span is `O(#distinct loads)`,
+    /// so callers snapshotting the classes (the round engines, the
+    /// weighted engine) pay nothing for the collapsed state.
+    pub fn levels(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.base + i as u32, c))
+    }
+
+    /// Assigns the histogram's loads to bin indices uniformly at random
+    /// — the same law as [`random_permutation`] + [`materialize`] but
+    /// cache-friendly (no `O(n)` random-access scatter). The parallel
+    /// round engines use this for their final reconstruction, where the
+    /// `O(n)` output pass is the whole residual cost at `m = n`.
+    ///
+    /// Small outputs (`n ≤ 4096`) run an *exact* sequential
+    /// without-replacement class pick per bin. Large outputs are built
+    /// in blocks of 1024: each block draws its class composition with
+    /// the [`hypergeometric`] chain (exact below the moment-matched
+    /// switch — the same approximation family as the engines' level
+    /// splits) and arranges it with an in-block Fisher–Yates whose index
+    /// draws come from exact 16-bit Lemire lanes, four per `u64` —
+    /// class totals and mass conservation hold surely, and the per-bin
+    /// cost is a fraction of a full-width draw.
+    pub fn shuffled_loads<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        const BLOCK: u64 = 1024;
+        let mut classes: Vec<(u32, u64)> = self.levels().collect();
+        if classes.len() == 1 {
+            return vec![classes[0].0; self.n as usize];
+        }
+        let n = self.n;
+        if n <= 4 * BLOCK {
+            // Exact sequential conditional picks, classes descending by
+            // count so the CDF walk terminates early.
+            let mut loads: Vec<u32> = Vec::with_capacity(n as usize);
+            classes.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+            let mut rem = n;
+            for _ in 0..n {
+                let mut r = rng.range_u64(rem);
+                for &mut (l, ref mut c) in classes.iter_mut() {
+                    if r < *c {
+                        loads.push(l);
+                        *c -= 1;
+                        break;
+                    }
+                    r -= *c;
+                }
+                rem -= 1;
+            }
+            debug_assert_eq!(loads.len() as u64, n);
+            return loads;
+        }
+
+        let shuffler = BlockShuffler::new(BLOCK as usize);
+        let mut loads = vec![0u32; n as usize];
+        let mut remaining = n;
+        let mut offset = 0usize;
+        let mut runs: Vec<(u32, u64)> = Vec::with_capacity(classes.len());
+        while remaining > 0 {
+            let b = BLOCK.min(remaining);
+            runs.clear();
+            block_composition(&mut classes, remaining, b, rng, |_, l, t| runs.push((l, t)));
+            // Arrange the composition's runs in one fused pass.
+            let mut stream = runs
+                .iter()
+                .flat_map(|&(l, t)| std::iter::repeat_n(l, t as usize));
+            shuffler.arrange(
+                &mut loads[offset..offset + b as usize],
+                || stream.next().expect("run stream exhausted early"),
+                rng,
+            );
+            offset += b as usize;
+            remaining -= b;
+        }
+        debug_assert_eq!(offset as u64, n);
+        loads
+    }
+
     /// All loads in ascending order (length `n`).
     pub fn to_sorted_loads(&self) -> Vec<u32> {
         let mut loads = Vec::with_capacity(self.n as usize);
@@ -332,8 +413,9 @@ fn cheap_std_normal<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
 /// `Binomial(n, p)` for the wide conditional splits: exact while the
 /// variance is moderate, rounded-normal (clamped to the support) above
 /// [`SPLIT_NORMAL_VAR`]. Shared with the weight-class engine's
-/// cross-class intake splits.
-pub(crate) fn split_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+/// cross-class intake splits and the parallel round-occupancy engine's
+/// open-set request splits.
+pub fn split_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
     if n == 0 || p <= 0.0 {
         return 0;
     }
@@ -445,23 +527,12 @@ fn scatter_class<R: Rng64 + ?Sized>(
     if cap == Some(1) {
         // Saturated top level: every hit bin keeps exactly one ball, so
         // the scatter collapses to the *distinct-bin count* `D` —
-        // promote `D` bins one level, return `D`. Mean and variance of
-        // `D` are closed-form (`q1 = (1−1/c)^h`, `q2 = (1−2/c)^h`):
-        //
-        //   E[D]   = c(1−q1)
-        //   Var[D] = c(q1−q2) + c²(q2−q1²)
-        //
-        // and the draw is a rounded normal — the same moment-exact
-        // approximation family as the cell walk it replaces (this path
-        // only fires above the exact-path thresholds), an order of
-        // magnitude cheaper on the hot top level where most hits land.
-        let lam = 1.0 / c as f64;
-        let q1 = (h as f64 * (-lam).ln_1p()).exp();
-        let q2 = (h as f64 * (-2.0 * lam).ln_1p()).exp();
-        let mean = c as f64 * (1.0 - q1);
-        let var = (c as f64 * (q1 - q2) + (c as f64) * (c as f64) * (q2 - q1 * q1)).max(0.0);
-        let draw = (mean + var.sqrt() * cheap_std_normal(rng)).round();
-        let d = (draw.max(1.0) as u64).min(c).min(h);
+        // promote `D` bins one level, return `D` (this path only fires
+        // above the exact-path thresholds, where the distinct-count
+        // draw takes its moment-matched closed form; it is an order of
+        // magnitude cheaper than the cell walk on the hot top level
+        // where most hits land).
+        let d = distinct_hit_count(c, h, rng);
         hist.promote(l, d, 1);
         return d;
     }
@@ -1106,6 +1177,223 @@ fn draw_occupancy_cells<R: Rng64 + ?Sized>(k: u64, h: u64, cells: &mut Vec<u64>,
     }
 }
 
+/// Draws the *occupancy profile* of `hits` uniform throws over `bins`
+/// exchangeable bins: on return `cells[j]` = number of bins receiving
+/// exactly `j` throws (`Σ cells[j] = bins`, `Σ j·cells[j] = hits`,
+/// surely).
+///
+/// This is the multiplicity-profile primitive of the engines that batch
+/// a whole round of uniform contacts at once — the sequential histogram
+/// engine's global-occupancy route and the parallel round-occupancy
+/// engine (collision / bounded-load / parallel-greedy), which resolves
+/// acceptance per multiplicity class instead of per contact.
+///
+/// Exactness regimes: `hits ≤ 64` runs the exact per-hit collision walk
+/// (each throw lands on an already-hit bin with probability
+/// `#hit/bins`), so small cases are *exactly* multinomial; larger
+/// intakes run the hazard walk over the `Bin(hits, 1/bins)` marginal
+/// with proportional drift repair — a moment-exact approximation whose
+/// residual error the equivalence suites bound. Cost is
+/// `O(max multiplicity)` draws, independent of `bins` and `hits`.
+pub fn occupancy_profile<R: Rng64 + ?Sized>(
+    bins: u64,
+    hits: u64,
+    cells: &mut Vec<u64>,
+    rng: &mut R,
+) {
+    assert!(bins > 0, "occupancy_profile: need at least one bin");
+    if hits == 0 {
+        cells.clear();
+        cells.push(bins);
+        return;
+    }
+    if bins == 1 {
+        // Degenerate: the single bin takes everything. (Callers with a
+        // single bin and a huge intake should special-case before the
+        // dense profile, as the sequential engines do.)
+        cells.clear();
+        cells.resize(hits as usize + 1, 0);
+        cells[hits as usize] = 1;
+        cells[0] = 0;
+        return;
+    }
+    if hits <= EXACT_HITS {
+        // Exact per-hit walk: index the hit bins 0..; a throw lands on
+        // hit bin `r` iff `r < #hit` (each specific bin w.p. 1/bins).
+        let mut counts = [0u8; EXACT_HITS as usize];
+        let mut touched = 0usize;
+        for _ in 0..hits {
+            let r = rng.range_u64(bins);
+            if (r as usize) < touched {
+                counts[r as usize] += 1;
+            } else {
+                counts[touched] = 1;
+                touched += 1;
+            }
+        }
+        let max_mult = counts[..touched].iter().copied().max().unwrap_or(0) as usize;
+        cells.clear();
+        cells.resize(max_mult + 1, 0);
+        cells[0] = bins - touched as u64;
+        for &c in &counts[..touched] {
+            cells[c as usize] += 1;
+        }
+        return;
+    }
+    draw_occupancy_cells(bins, hits, cells, rng);
+}
+
+/// Number of *distinct* bins hit by `hits` uniform throws over `bins`
+/// exchangeable bins. Exact per-hit walk for `hits ≤ 64`; above that a
+/// rounded-normal draw on the closed-form moments
+/// (`q1 = (1−1/bins)^hits`, `q2 = (1−2/bins)^hits`):
+///
+/// ```text
+/// E[D]   = bins·(1−q1)
+/// Var[D] = bins·(q1−q2) + bins²·(q2−q1²)
+/// ```
+///
+/// clamped to the sure support `[1, min(bins, hits)]`. The saturated
+/// top level of [`scatter_class`] and the bounded-load round engine's
+/// accepting-bin count both reduce to this draw.
+pub fn distinct_hit_count<R: Rng64 + ?Sized>(bins: u64, hits: u64, rng: &mut R) -> u64 {
+    if hits == 0 || bins == 0 {
+        return 0;
+    }
+    if bins == 1 {
+        return 1;
+    }
+    if hits <= EXACT_HITS {
+        // The per-hit walk of `occupancy_profile`, keeping only the
+        // distinct count.
+        let mut distinct = 0u64;
+        for _ in 0..hits {
+            if rng.range_u64(bins) >= distinct {
+                distinct += 1;
+            }
+        }
+        return distinct;
+    }
+    let lam = 1.0 / bins as f64;
+    let q1 = (hits as f64 * (-lam).ln_1p()).exp();
+    let q2 = (hits as f64 * (-2.0 * lam).ln_1p()).exp();
+    let mean = bins as f64 * (1.0 - q1);
+    let var = (bins as f64 * (q1 - q2) + (bins as f64) * (bins as f64) * (q2 - q1 * q1)).max(0.0);
+    let draw = (mean + var.sqrt() * cheap_std_normal(rng)).round();
+    (draw.max(1.0) as u64).min(bins).min(hits)
+}
+
+/// `Hypergeometric(total, marked, draws)` — the number of marked items
+/// among `draws` drawn without replacement from `total` items of which
+/// `marked` are marked.
+///
+/// Exact sequential draw for `draws ≤ 8` (one uniform pick per draw);
+/// above that an exact binomial clamped to the support while the
+/// finite-population variance stays below the normal switch, and a
+/// rounded normal with the exact mean and variance beyond — the same
+/// moment-matched family as the engines' level chains, which use this
+/// to spread a multiplicity group over occupancy classes.
+pub fn hypergeometric<R: Rng64 + ?Sized>(total: u64, marked: u64, draws: u64, rng: &mut R) -> u64 {
+    assert!(
+        marked <= total && draws <= total,
+        "hypergeometric: marked ({marked}) and draws ({draws}) must be ≤ total ({total})"
+    );
+    let lo = draws.saturating_sub(total - marked);
+    let hi = draws.min(marked);
+    if lo == hi {
+        return lo;
+    }
+    if draws <= PER_HIT_SPLIT {
+        let mut got = 0u64;
+        let mut rem_marked = marked;
+        let mut rem = total;
+        for _ in 0..draws {
+            if rng.range_u64(rem) < rem_marked {
+                got += 1;
+                rem_marked -= 1;
+            }
+            rem -= 1;
+        }
+        return got;
+    }
+    let f = marked as f64 / total as f64;
+    let mean = draws as f64 * f;
+    let fpc = (total - draws) as f64 / (total - 1).max(1) as f64;
+    let var = mean * (1.0 - f) * fpc;
+    if var < SPLIT_NORMAL_VAR {
+        // Narrow split: the exact binomial is within the clamp and
+        // keeps randomness a rounded mean would destroy.
+        split_binomial(draws, f, rng).clamp(lo, hi)
+    } else {
+        let draw = (mean + var.sqrt() * cheap_std_normal(rng)).round();
+        ((draw.max(0.0)) as u64).clamp(lo, hi)
+    }
+}
+
+/// Draws one block's class composition for the blocked uniform load
+/// assignment: one conditional [`hypergeometric`] per class over the
+/// remaining counts (the `pool == count` guard hands the last
+/// contributing class the exact remainder, so the chain surely
+/// completes), decrementing `classes` in place and calling
+/// `take(class_index, load, count)` for every class that contributes.
+/// `remaining` must equal the sum of the remaining class counts and
+/// `block ≤ remaining`. Shared by [`OccupancyHistogram::shuffled_loads`]
+/// and the parallel round engines' sharded reconstruction, so the
+/// exactness-critical chain exists once.
+pub fn block_composition<R, F>(
+    classes: &mut [(u32, u64)],
+    remaining: u64,
+    block: u64,
+    rng: &mut R,
+    mut take: F,
+) where
+    R: Rng64 + ?Sized,
+    F: FnMut(usize, u32, u64),
+{
+    let mut pool = remaining;
+    let mut left = block;
+    for (i, &mut (l, ref mut c)) in classes.iter_mut().enumerate() {
+        if left == 0 {
+            break;
+        }
+        let cv = *c;
+        if cv == 0 {
+            continue;
+        }
+        let t = if pool == cv {
+            left
+        } else {
+            hypergeometric(pool, cv, left, rng)
+        };
+        if t > 0 {
+            take(i, l, t);
+            *c -= t;
+            left -= t;
+        }
+        pool -= cv;
+    }
+    debug_assert_eq!(left, 0, "block composition incomplete");
+}
+
+/// A rounded-normal count with the given mean and variance, clamped to
+/// `[lo, hi]` — the moment-matched draw the approximate engine paths
+/// share for quantities whose exact law has no cheap sampler (e.g. the
+/// bounded-load engine's per-round placed-ball count). Degenerate
+/// supports (`lo ≥ hi`) return `lo` without consuming randomness.
+pub fn rounded_normal_count<R: Rng64 + ?Sized>(
+    mean: f64,
+    var: f64,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> u64 {
+    if lo >= hi {
+        return lo;
+    }
+    let draw = (mean + var.max(0.0).sqrt() * cheap_std_normal(rng)).round();
+    ((draw.max(0.0)) as u64).clamp(lo, hi)
+}
+
 /// Places `count` balls under the uniform-below-`t` rule (`None` = the
 /// `one-choice` law), batched by occupancy class. Panics if no bin is
 /// open or `count` exceeds the remaining capacity below `t` (either
@@ -1250,8 +1538,70 @@ pub fn place_least_of_d<R: Rng64 + ?Sized>(
     }
 }
 
+/// An exact in-place Fisher–Yates for cache-resident blocks, drawing
+/// its index picks from 16-bit Lemire lanes — four exactly-uniform
+/// small-range draws per `u64`, with the rejection thresholds
+/// (`2^16 mod r`) precomputed so the hot loop never divides. This is
+/// the arrangement half of the blocked load materialization
+/// ([`OccupancyHistogram::shuffled_loads`] and the parallel round
+/// engines' sharded reconstruction); at `n = 10⁷` it is ~4× cheaper
+/// than a full-width Fisher–Yates.
+pub struct BlockShuffler {
+    /// `thresh[r] = 2^16 mod r` — a 16-bit lane `x` is accepted for
+    /// range `r` iff `(x·r) & 0xFFFF ≥ thresh[r]`.
+    thresh: Vec<u32>,
+}
+
+impl BlockShuffler {
+    /// Builds the rejection table for blocks of at most `max_block`
+    /// elements (`max_block ≤ 2^16` so a 16-bit lane covers every
+    /// range).
+    pub fn new(max_block: usize) -> Self {
+        assert!(max_block <= 1 << 16, "BlockShuffler: block too large");
+        let mut thresh = vec![0u32; max_block + 1];
+        for (r, t) in thresh.iter_mut().enumerate().skip(1) {
+            *t = ((1u64 << 16) % r as u64) as u32;
+        }
+        Self { thresh }
+    }
+
+    /// Writes a uniformly random arrangement of the element stream
+    /// `next` into `block` by the *inside-out* Fisher–Yates — one fused
+    /// pass instead of fill-then-shuffle, which is what the `O(n)`
+    /// reconstruction at `m = n` scale wants. `next` is called exactly
+    /// `block.len()` times; the result is an exact uniform shuffle of
+    /// that sequence (`block`'s prior contents are overwritten).
+    pub fn arrange<R, F>(&self, block: &mut [u32], mut next: F, rng: &mut R)
+    where
+        R: Rng64 + ?Sized,
+        F: FnMut() -> u32,
+    {
+        debug_assert!(block.len() < self.thresh.len());
+        let mut bits = 0u64;
+        let mut lanes = 0u32;
+        for i in 0..block.len() {
+            let range = (i + 1) as u32;
+            let j = loop {
+                if lanes == 0 {
+                    bits = rng.next_u64();
+                    lanes = 4;
+                }
+                let x = (bits & 0xFFFF) as u32;
+                bits >>= 16;
+                lanes -= 1;
+                let m = x * range;
+                if (m & 0xFFFF) >= self.thresh[range as usize] {
+                    break (m >> 16) as usize;
+                }
+            };
+            block[i] = block[j];
+            block[j] = next();
+        }
+    }
+}
+
 /// A uniform random permutation of `0..n` (Fisher–Yates).
-pub(crate) fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
+pub fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     for i in (1..n).rev() {
         perm.swap(i, rng.range_usize(i + 1));
@@ -1259,8 +1609,12 @@ pub(crate) fn random_permutation<R: Rng64 + ?Sized>(n: usize, rng: &mut R) -> Ve
     perm
 }
 
-/// Assigns the histogram's sorted loads to bin indices through `perm`.
-fn materialize(hist: &OccupancyHistogram, perm: &[u32]) -> Vec<u32> {
+/// Assigns the histogram's sorted loads to bin indices through `perm` —
+/// the identity-reconstruction step shared by every histogram-state
+/// engine: drivers that emit stage traces draw one permutation up front
+/// and materialize through it at every stage so the synthetic bin
+/// identities stay consistent across the run.
+pub fn materialize(hist: &OccupancyHistogram, perm: &[u32]) -> Vec<u32> {
     let sorted = hist.to_sorted_loads();
     let mut loads = vec![0u32; perm.len()];
     for (i, &l) in sorted.iter().enumerate() {

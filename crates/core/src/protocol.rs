@@ -33,8 +33,11 @@ use bib_rng::Rng64;
 /// is reconstructed only at the end through a seeded random assignment.
 /// Unlike the other engines it also accelerates the fixed-sample
 /// baselines `one-choice` and `greedy[d]` (their landing laws are
-/// functions of the histogram CDF); `left[d]`, `memory` and `(1+β)`
-/// still ignore the engine entirely.
+/// functions of the histogram CDF) and — as the *round-occupancy*
+/// engine in `bib-parallel` — the round-synchronous parallel family,
+/// where each round's contacts collapse to a multiplicity profile
+/// drawn with the same occupancy machinery; `left[d]`, `memory` and
+/// `(1+β)` still ignore the engine entirely.
 ///
 /// `Auto` is not an engine of its own: each protocol resolves it to the
 /// measured-fastest concrete engine for its `(protocol, n, m)` cell
@@ -114,6 +117,24 @@ impl Engine {
         }
     }
 
+    /// Resolves `Auto` for the round-synchronous parallel family
+    /// (`collision`, `bounded-load`, `parallel-greedy`), which has two
+    /// concrete paths: the faithful per-contact round loop and the
+    /// round-occupancy engine (`bib-parallel::protocols`), whose
+    /// per-round cost is `O(max multiplicity · #occupancy classes)` —
+    /// independent of the contact count. The engine still pays one
+    /// `O(n)` reconstruction pass at the end, so the faithful loop wins
+    /// only when the run is small enough to be cache-resident or `n`
+    /// dwarfs `m` (measured in `BENCH_engines.json`,
+    /// `scenario = "parallel"` rows).
+    pub fn auto_parallel(n: usize, m: u64) -> Engine {
+        if m < (1 << 13) || 4 * m < n as u64 {
+            Engine::Faithful
+        } else {
+            Engine::Histogram
+        }
+    }
+
     /// Resolves `Auto` for the weighted sequential family, which has two
     /// concrete paths: the faithful per-ball alias loop and the
     /// weight-class histogram engine (`k` = number of weight classes).
@@ -161,8 +182,12 @@ pub struct RunConfig {
     pub n: usize,
     /// Number of balls `m`.
     pub m: u64,
-    /// Retry engine for threshold-style protocols (ignored by fixed-
-    /// sample protocols such as `greedy[d]`).
+    /// Simulation engine. Threshold-style protocols support all four
+    /// concrete engines; `one-choice`/`greedy[d]`, the weighted family
+    /// and the parallel round family each dispatch between their
+    /// faithful path and their histogram fast path (each family
+    /// documents how the remaining engine names alias onto those two);
+    /// `left[d]`, `memory` and `(1+β)` ignore the engine.
     pub engine: Engine,
 }
 

@@ -9,9 +9,18 @@
 //! max load exactly ≤ `cap`, a round count that grows extremely slowly
 //! with `n`, and O(1) messages per ball.
 
-use bib_core::protocol::{Observer, Outcome, Protocol, RunConfig};
+use super::round_occupancy::{resolve_round_engine, LevelSlots, RoundTrace};
+use bib_core::histogram::{
+    distinct_hit_count, rounded_normal_count, split_binomial, OccupancyHistogram,
+};
+use bib_core::protocol::{Engine, Observer, Outcome, Protocol, RunConfig};
 use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt};
+
+/// Rounds whose total contact count is at most this run the exact
+/// within-round simulation on exchangeable bins; larger rounds use the
+/// moment-matched draws (distinct accepting bins, placed balls).
+const EXACT_CONTACTS: u64 = 64;
 
 /// The bounded-load parallel protocol.
 ///
@@ -68,9 +77,31 @@ impl Protocol for BoundedLoad {
 
     /// Runs the process; panics if `m > cap·n` (capacity infeasible) or
     /// if the safety round limit is exceeded (indicates a bug, not bad
-    /// luck — 64 rounds is astronomically beyond `log* n`). The engine
-    /// in `cfg` is ignored: round protocols have one execution path.
+    /// luck — 64 rounds is astronomically beyond `log* n`).
+    ///
+    /// The engine in `cfg` resolves by the parallel family's fixed rule
+    /// (see [`super`]): `Faithful`/`Jump` run the per-contact rounds,
+    /// `Histogram`/`LevelBatched` the round-occupancy engine, `Auto`
+    /// the measured cutoff [`Engine::auto_parallel`].
     fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        match resolve_round_engine(cfg.engine, cfg.n, cfg.m) {
+            Engine::Histogram => self.allocate_round_occupancy(cfg, rng, obs),
+            _ => self.allocate_faithful(cfg, rng, obs),
+        }
+    }
+}
+
+impl BoundedLoad {
+    /// The faithful per-contact path. Per-round cost is
+    /// `O(unplaced · k_r)`: requester lists are cleared through the
+    /// touched-bin list (never an `O(n)` sweep), and the
+    /// placement flags are allocated once — a placed ball never returns,
+    /// so its flag never needs resetting.
+    fn allocate_faithful<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
@@ -88,8 +119,12 @@ impl Protocol for BoundedLoad {
         let mut unplaced: Vec<u32> = (0..m as u32).collect();
         let mut messages = 0u64;
         let mut rounds = 0u32;
-        // Per-bin requester lists, reused across rounds.
+        // Per-bin requester lists plus the bins touched this round, both
+        // reused across rounds: only touched lists are read and cleared.
         let mut requests: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut touched: Vec<u32> = Vec::new();
+        // Placement flags by ball id, allocated once for the whole run.
+        let mut placed: Vec<bool> = vec![false; m as usize];
         let mut contacts = 1usize; // k_r: doubles each round
         let mut contacts_cum = 0u64; // Σ k_r — a surviving ball's sent total
         let mut max_contacts = 0u64;
@@ -102,13 +137,13 @@ impl Protocol for BoundedLoad {
                 self.max_rounds
             );
             contacts_cum += contacts as u64;
-            for r in requests.iter_mut() {
-                r.clear();
-            }
             // Phase 1: contacts.
             for &ball in &unplaced {
                 for _ in 0..contacts {
                     let b = rng.range_usize(n);
+                    if requests[b].is_empty() {
+                        touched.push(b as u32);
+                    }
                     requests[b].push(ball);
                     messages += 1;
                 }
@@ -117,22 +152,26 @@ impl Protocol for BoundedLoad {
             // random requester. A ball may receive several acceptances;
             // it takes the first by bin order (any deterministic rule
             // works — the bin keeps its slot only if the ball commits).
-            let mut accepted_bin: Vec<Option<u32>> = vec![None; m as usize];
-            for (bin, reqs) in requests.iter().enumerate() {
-                if loads[bin] >= self.cap || reqs.is_empty() {
-                    continue;
+            // Touched bins are visited in ascending index order so the
+            // tie-break matches the full-scan original exactly.
+            touched.sort_unstable();
+            for &bin in &touched {
+                let reqs = &mut requests[bin as usize];
+                if loads[bin as usize] < self.cap {
+                    let ball = *rng.choose(reqs);
+                    messages += 1; // the accept message
+                    if !placed[ball as usize] {
+                        placed[ball as usize] = true;
+                        loads[bin as usize] += 1;
+                    }
                 }
-                let ball = *rng.choose(reqs);
-                messages += 1; // the accept message
-                if accepted_bin[ball as usize].is_none() {
-                    accepted_bin[ball as usize] = Some(bin as u32);
-                    loads[bin] += 1;
-                }
+                reqs.clear();
             }
+            touched.clear();
             // Phase 3: commit placements. Any ball placed this round has
             // sent `contacts_cum` contacts so far — the per-ball max.
             let before = unplaced.len();
-            unplaced.retain(|&ball| accepted_bin[ball as usize].is_none());
+            unplaced.retain(|&ball| !placed[ball as usize]);
             if unplaced.len() < before {
                 max_contacts = contacts_cum;
             }
@@ -151,6 +190,207 @@ impl Protocol for BoundedLoad {
             loads,
             scenario: Scenario::rounds(rounds, messages),
         }
+    }
+
+    /// The round-occupancy path. A round with `u` unplaced balls and
+    /// `k` contacts each collapses to three draws:
+    ///
+    /// 1. the number of the `u·k` contacts landing on *open* bins
+    ///    (load `< cap`) — one binomial split;
+    /// 2. the number of **distinct open bins hit** `D` — each sends one
+    ///    accept ([`distinct_hit_count`]);
+    /// 3. the number of **balls placed** `P` — the accepting bins' picks
+    ///    collapse onto distinct balls. The picks are modelled as `D`
+    ///    requests drawn without replacement from the `u·k` sent, so a
+    ///    ball is missed with probability `q1 ≈ ((T−D)/T)^k`; `P = u −
+    ///    missed` is a rounded normal on the closed-form moments,
+    ///    clamped to the sure support `[⌈D/k⌉, min(D, u)]`. `k = 1` is
+    ///    exact: every pick is a distinct ball, `P = D`.
+    ///
+    /// The `P` gaining bins are a uniform subset of the open bins
+    /// (contacts are load-blind), so the increments spread over the open
+    /// occupancy classes without replacement ([`LevelSlots`]). Rounds
+    /// with at most 64 total contacts instead run an exact within-round
+    /// simulation on exchangeable bins (request walk, per-bin requester
+    /// lists, random tie-break order), so small cases stay exact.
+    ///
+    /// Approximation note: the faithful tie-break ("first accepting bin
+    /// by index") is replaced by an exchangeable one; the residual
+    /// cross-round correlation (a fixed low-index bin wins every tie it
+    /// is part of) is not representable in histogram state and is
+    /// bounded by the equivalence suite.
+    fn allocate_round_occupancy<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let (n, m) = (cfg.n, cfg.m);
+        assert!(n > 0, "need at least one bin");
+        assert!(
+            m <= self.cap as u64 * n as u64,
+            "m = {m} exceeds total capacity {}",
+            self.cap as u64 * n as u64
+        );
+        let mut hist = OccupancyHistogram::new(n);
+        let trace = RoundTrace::new(n, rng, obs);
+        let mut unplaced = m;
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        let mut level_buf: Vec<(u32, u64)> = Vec::new();
+        let mut contacts = 1u64;
+        let mut contacts_cum = 0u64;
+        let mut max_contacts = 0u64;
+
+        while unplaced > 0 {
+            rounds += 1;
+            assert!(
+                rounds <= self.max_rounds,
+                "bounded-load protocol failed to converge in {} rounds",
+                self.max_rounds
+            );
+            contacts_cum += contacts;
+            let total = unplaced * contacts;
+            messages += total;
+            let open = hist.open_bins(Some(self.cap));
+            debug_assert!(open > 0, "unplaced balls but no open bin");
+
+            let placed = if total <= EXACT_CONTACTS {
+                let (accepts, placed) =
+                    self.exact_round(&mut hist, unplaced, contacts, &mut level_buf, rng);
+                messages += accepts;
+                placed
+            } else {
+                // 1. Contacts landing on open bins.
+                let t_open = split_binomial(total, open as f64 / n as f64, rng);
+                // 2. Distinct open bins hit — one accept message each.
+                let d = distinct_hit_count(open, t_open, rng);
+                messages += d;
+                // 3. Balls placed.
+                let placed = if d == 0 {
+                    0
+                } else if contacts == 1 {
+                    d
+                } else {
+                    // A ball is missed iff none of its k requests is
+                    // among the D picked: `Π_{i<k} (T−D−i)/(T−i)`,
+                    // approximated with the midpoint-corrected power
+                    // `((T−D−(k−1)/2)/(T−(k−1)/2))^k`; the pairwise
+                    // miss runs the same product over 2k terms, which
+                    // is strictly below q1² — that gap is the negative
+                    // association of the missed counts (a missed ball
+                    // concentrates the picks on the others).
+                    let t = total as f64;
+                    let dd = d as f64;
+                    let q_miss = |j: f64| -> f64 {
+                        let num = t - dd - (j - 1.0) / 2.0;
+                        let den = t - (j - 1.0) / 2.0;
+                        if num <= 0.0 {
+                            0.0
+                        } else {
+                            (j * (num / den).ln()).exp()
+                        }
+                    };
+                    let q1 = q_miss(contacts as f64);
+                    let q2 = q_miss(2.0 * contacts as f64);
+                    let u = unplaced as f64;
+                    let mean_missed = u * q1;
+                    let var = (u * (q1 - q2) + u * u * (q2 - q1 * q1)).max(0.0);
+                    let hi_placed = d.min(unplaced);
+                    let lo_placed = d.div_ceil(contacts).min(hi_placed);
+                    let missed = rounded_normal_count(
+                        mean_missed,
+                        var,
+                        unplaced - hi_placed,
+                        unplaced - lo_placed,
+                        rng,
+                    );
+                    unplaced - missed
+                };
+                // The gaining bins are a uniform size-`placed` subset of
+                // the open bins: spread the +1 increments over the open
+                // classes.
+                let mut slots = LevelSlots::snapshot(&hist, Some(self.cap), level_buf);
+                slots.assign(placed, rng, |l, cnt| hist.promote(l, cnt, 1));
+                level_buf = slots.into_buf();
+                placed
+            };
+
+            unplaced -= placed;
+            if placed > 0 {
+                max_contacts = contacts_cum;
+            }
+            contacts = (contacts * 2).min(n as u64);
+            trace.stage_end(obs, rounds, &hist, m - unplaced);
+        }
+
+        Outcome {
+            protocol: self.name(),
+            n,
+            m,
+            total_samples: messages,
+            max_samples_per_ball: max_contacts,
+            loads: trace.finish(&hist, rng),
+            scenario: Scenario::rounds(rounds, messages),
+        }
+    }
+
+    /// Exact within-round simulation for small rounds (`u·k ≤ 64`): the
+    /// contact walk materializes the touched bins with their requester
+    /// lists on exchangeable bin indices, each touched bin draws its
+    /// occupancy class without replacement, and the accepting bins
+    /// resolve in a uniformly random order (the faithful index order is
+    /// uniform over the exchangeable labels). Returns `(accept
+    /// messages, balls placed)`.
+    fn exact_round<R: Rng64 + ?Sized>(
+        &self,
+        hist: &mut OccupancyHistogram,
+        unplaced: u64,
+        contacts: u64,
+        level_buf: &mut Vec<(u32, u64)>,
+        rng: &mut R,
+    ) -> (u64, u64) {
+        let n = hist.n();
+        // Contact walk: touched bins indexed 0.. in discovery order;
+        // each contact hits touched bin `r` iff `r < #touched`.
+        let mut requesters: Vec<Vec<u32>> = Vec::new();
+        for ball in 0..unplaced as u32 {
+            for _ in 0..contacts {
+                let r = rng.range_u64(n);
+                if (r as usize) < requesters.len() {
+                    requesters[r as usize].push(ball);
+                } else {
+                    requesters.push(vec![ball]);
+                }
+            }
+        }
+        // Assign each touched bin its occupancy class, without
+        // replacement (exact sequential picks — the group is ≤ 64).
+        let mut slots = LevelSlots::snapshot(hist, None, std::mem::take(level_buf));
+        let mut bin_level: Vec<u32> = Vec::with_capacity(requesters.len());
+        for _ in 0..requesters.len() {
+            slots.assign(1, rng, |l, _| bin_level.push(l));
+        }
+        *level_buf = slots.into_buf();
+        // Resolve accepts in a uniformly random bin order.
+        let mut order: Vec<u32> = (0..requesters.len() as u32).collect();
+        rng.shuffle(&mut order);
+        let mut placed_flag = vec![false; unplaced as usize];
+        let mut accepts = 0u64;
+        let mut placed = 0u64;
+        for &bi in &order {
+            let level = bin_level[bi as usize];
+            if level >= self.cap {
+                continue; // bin already full at round start
+            }
+            let ball = *rng.choose(&requesters[bi as usize]);
+            accepts += 1;
+            if !placed_flag[ball as usize] {
+                placed_flag[ball as usize] = true;
+                hist.promote(level, 1, 1);
+                placed += 1;
+            }
+        }
+        (accepts, placed)
     }
 }
 

@@ -8,7 +8,9 @@
 //! `m = n` and constant `c` the expected number of unplaced balls drops
 //! doubly exponentially, giving `O(log log n)` rounds.
 
-use bib_core::protocol::{Observer, Outcome, Protocol, RunConfig};
+use super::round_occupancy::{resolve_round_engine, LevelSlots, RoundTrace};
+use bib_core::histogram::{occupancy_profile, OccupancyHistogram};
+use bib_core::protocol::{Engine, Observer, Outcome, Protocol, RunConfig};
 use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt};
 
@@ -59,9 +61,36 @@ impl Protocol for Collision {
     }
 
     /// Runs the process to completion; panics only if the safety round
-    /// cap (256) is hit, which indicates a bug. The engine in `cfg` is
-    /// ignored: round protocols have one execution path.
+    /// cap (256) is hit, which indicates a bug.
+    ///
+    /// The engine in `cfg` resolves by the parallel family's fixed rule
+    /// (see [`super`]): `Faithful`/`Jump` run the per-contact rounds,
+    /// `Histogram`/`LevelBatched` the round-occupancy engine, `Auto`
+    /// the measured cutoff [`Engine::auto_parallel`]. The
+    /// round-occupancy path is *exact* as a lumped chain — acceptance
+    /// depends only on a bin's request multiplicity, never on its load,
+    /// so the occupancy histogram is a sufficient statistic — up to the
+    /// large-round multiplicity-profile approximation documented on
+    /// [`occupancy_profile`].
     fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        match resolve_round_engine(cfg.engine, cfg.n, cfg.m) {
+            Engine::Histogram => self.allocate_round_occupancy(cfg, rng, obs),
+            _ => self.allocate_faithful(cfg, rng, obs),
+        }
+    }
+}
+
+impl Collision {
+    /// The faithful per-contact path: every unplaced ball draws its bin
+    /// each round. Per-round cost is `O(unplaced)` — touched bins are
+    /// tracked so neither the requester-count reset nor the acceptance
+    /// scan ever walks the full `O(n)` bin array (late rounds have a
+    /// handful of stragglers).
+    fn allocate_faithful<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
@@ -73,8 +102,10 @@ impl Protocol for Collision {
         let mut unplaced = m;
         let mut messages = 0u64;
         let mut rounds = 0u32;
-        // Per-bin requester counts, reused.
+        // Per-bin requester counts plus the bins touched this round,
+        // both reused: only touched entries are read and reset.
         let mut counts = vec![0u32; n];
+        let mut touched: Vec<u32> = Vec::new();
         // Ball ids are interchangeable here (no per-ball state), so we
         // track only the count and re-sample contacts per round.
         let mut stalled = 0u32;
@@ -85,22 +116,51 @@ impl Protocol for Collision {
                 "collision protocol failed to converge in {} rounds",
                 self.max_rounds
             );
-            counts.iter_mut().for_each(|c| *c = 0);
-            for _ in 0..unplaced {
-                let b = rng.range_usize(n);
-                counts[b] += 1;
-                messages += 1;
+            // Dense rounds (most bins touched) resolve with one fused
+            // sequential scan-and-clear; sparse rounds (late stragglers)
+            // gather only the touched bins, so no round pays `O(n)` for
+            // a handful of contacts.
+            let dense = unplaced >= n as u64 / 64;
+            if dense {
+                for _ in 0..unplaced {
+                    counts[rng.range_usize(n)] += 1;
+                    messages += 1;
+                }
+            } else {
+                for _ in 0..unplaced {
+                    let b = rng.range_usize(n);
+                    if counts[b] == 0 {
+                        touched.push(b as u32);
+                    }
+                    counts[b] += 1;
+                    messages += 1;
+                }
             }
             let mut placed_this_round = 0u64;
-            for (bin, &c) in counts.iter().enumerate() {
-                if c == 0 {
-                    continue;
+            if dense {
+                for (bin, c) in counts.iter_mut().enumerate() {
+                    let cv = *c;
+                    if cv == 0 {
+                        continue;
+                    }
+                    *c = 0;
+                    if cv <= self.c {
+                        loads[bin] += cv;
+                        placed_this_round += cv as u64;
+                        messages += cv as u64; // accept messages
+                    }
                 }
-                if c <= self.c {
-                    loads[bin] += c;
-                    placed_this_round += c as u64;
-                    messages += c as u64; // accept messages
+            } else {
+                for &bin in &touched {
+                    let c = counts[bin as usize];
+                    counts[bin as usize] = 0;
+                    if c <= self.c {
+                        loads[bin as usize] += c;
+                        placed_this_round += c as u64;
+                        messages += c as u64; // accept messages
+                    }
                 }
+                touched.clear();
             }
             unplaced -= placed_this_round;
             if placed_this_round == 0 {
@@ -133,6 +193,95 @@ impl Protocol for Collision {
             // the last placing round).
             max_samples_per_ball: if m > 0 { rounds as u64 } else { 0 },
             loads,
+            scenario: Scenario::rounds(rounds, messages),
+        }
+    }
+
+    /// The round-occupancy path: a round draws the multiplicity profile
+    /// of `unplaced` contacts over the `n` bins
+    /// ([`occupancy_profile`]), accepts the whole multiplicity classes
+    /// with `k ≤ c` and spreads each class's bins over the occupancy
+    /// classes without replacement ([`LevelSlots`]) — `O(max
+    /// multiplicity + #classes)` per round, independent of `n` and
+    /// `unplaced`. Rounds, messages, the stall fallback and the
+    /// max-contacts accounting follow the faithful path's rules
+    /// exactly.
+    fn allocate_round_occupancy<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let (n, m) = (cfg.n, cfg.m);
+        assert!(n > 0, "need at least one bin");
+        let mut hist = OccupancyHistogram::new(n);
+        let trace = RoundTrace::new(n, rng, obs);
+        let mut unplaced = m;
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        let mut stalled = 0u32;
+        let mut cells: Vec<u64> = Vec::new();
+        let mut level_buf: Vec<(u32, u64)> = Vec::new();
+        while unplaced > 0 {
+            rounds += 1;
+            assert!(
+                rounds <= self.max_rounds,
+                "collision protocol failed to converge in {} rounds",
+                self.max_rounds
+            );
+            messages += unplaced;
+            occupancy_profile(n as u64, unplaced, &mut cells, rng);
+            let mut slots = LevelSlots::snapshot(&hist, None, level_buf);
+            let mut placed_this_round = 0u64;
+            // Multiplicity groups are disjoint bin sets: every group —
+            // accepted or rejected — consumes its slots so later
+            // groups' class splits condition on it.
+            for (j, &nj) in cells.iter().enumerate().skip(1) {
+                if nj == 0 {
+                    continue;
+                }
+                if j as u64 <= self.c as u64 {
+                    slots.assign(nj, rng, |l, cnt| hist.promote(l, cnt, j as u32));
+                    placed_this_round += j as u64 * nj;
+                } else {
+                    slots.assign(nj, rng, |_, _| {});
+                }
+            }
+            // Exactly the untouched bins are left unassigned.
+            debug_assert_eq!(slots.remaining(), cells[0]);
+            level_buf = slots.into_buf();
+            messages += placed_this_round; // accept messages
+            unplaced -= placed_this_round;
+            if placed_this_round == 0 {
+                stalled += 1;
+                if stalled >= Self::STALL_LIMIT {
+                    // Livelock fallback, mirroring the faithful path:
+                    // one-choice placements in one extra round — an
+                    // unconditional throw, accepted at any
+                    // multiplicity.
+                    rounds += 1;
+                    occupancy_profile(n as u64, unplaced, &mut cells, rng);
+                    let mut slots = LevelSlots::snapshot(&hist, None, level_buf);
+                    for (j, &nj) in cells.iter().enumerate().skip(1) {
+                        if nj > 0 {
+                            slots.assign(nj, rng, |l, cnt| hist.promote(l, cnt, j as u32));
+                        }
+                    }
+                    level_buf = slots.into_buf();
+                    messages += 2 * unplaced; // request + forced accept
+                    unplaced = 0;
+                }
+            } else {
+                stalled = 0;
+            }
+            trace.stage_end(obs, rounds, &hist, m - unplaced);
+        }
+        Outcome {
+            protocol: self.name(),
+            n,
+            m,
+            total_samples: messages,
+            max_samples_per_ball: if m > 0 { rounds as u64 } else { 0 },
+            loads: trace.finish(&hist, rng),
             scenario: Scenario::rounds(rounds, messages),
         }
     }

@@ -12,7 +12,19 @@
 //! scheme, and return the unified
 //! [`Outcome`](bib_core::protocol::Outcome) with
 //! [`Scenario::rounds`](bib_core::scenario::Scenario) annotations
-//! (`rounds`, `messages`). The mapping onto the sequential record:
+//! (`rounds`, `messages`).
+//!
+//! Each protocol has **two execution paths**, selected through the
+//! engine in `RunConfig` (the family's resolution rule lives in
+//! [`round_occupancy`](self): `Faithful`/`Jump` → per-contact rounds,
+//! `Histogram`/`LevelBatched` → round-occupancy,
+//! `Auto` → `Engine::auto_parallel`): the *faithful* per-contact rounds
+//! of the published processes, and the *round-occupancy engine*, which
+//! draws each round's request-multiplicity profile in one shot and
+//! resolves acceptance per multiplicity class — `O(max multiplicity ·
+//! #occupancy classes)` per round, independent of the contact count.
+//!
+//! The mapping onto the sequential record:
 //!
 //! * `total_samples` = total messages (the family's allocation-time
 //!   currency: every ball→bin contact and every bin→ball accept);
@@ -42,6 +54,7 @@
 mod bounded_load;
 mod collision;
 mod parallel_greedy;
+mod round_occupancy;
 
 pub use bounded_load::BoundedLoad;
 pub use collision::Collision;

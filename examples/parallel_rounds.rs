@@ -10,7 +10,10 @@
 //! `Protocol`s returning the same `Outcome` record as the sequential
 //! families — rounds and messages live in `outcome.scenario`, and the
 //! runs below go through the ordinary seeded `run_protocol` entry
-//! point.
+//! point. The runs use `Engine::Auto`, which resolves the larger sizes
+//! to the round-occupancy engine: one multiplicity-profile draw per
+//! round instead of one contact per unplaced ball, so the n = 2²⁰ rows
+//! are near-instant.
 //!
 //! Run with:
 //! ```text
@@ -31,7 +34,7 @@ fn main() {
     );
     for exp in [8u32, 12, 16, 20] {
         let n = 1usize << exp;
-        let cfg = RunConfig::new(n, n as u64);
+        let cfg = RunConfig::new(n, n as u64).with_engine(Engine::Auto);
         let bl = run_protocol(&BoundedLoad::new(2), &cfg, exp as u64);
         let co = run_protocol(&Collision::new(1), &cfg, exp as u64);
         assert_eq!(bl.scenario.label(), "parallel");
