@@ -5,7 +5,7 @@
 //! Cargo builds the binaries for integration tests and exposes their
 //! paths through `CARGO_BIN_EXE_<name>`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::Command;
 
 /// Runs a binary with the given args and returns stdout.
@@ -66,7 +66,7 @@ fn table1_shapes() {
     let (h, rows) = parse_csv(&out);
     assert!(!rows.is_empty());
     // Group rows by protocol.
-    let mut excess: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut excess: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let pi = h.iter().position(|c| c == "protocol").unwrap();
     let ei = h.iter().position(|c| c == "max_excess").unwrap();
     for r in &rows {

@@ -699,7 +699,7 @@ fn scatter_class<R: Rng64 + ?Sized>(
                 if !placed {
                     debug_assert!(lump > 0);
                     lump -= 1;
-                    let q = cap.unwrap() as usize;
+                    let q = cap.expect("the lump donor exists only under a capped rule") as usize;
                     if cells.len() < q {
                         cells.resize(q, 0);
                     }
@@ -729,7 +729,7 @@ fn scatter_class<R: Rng64 + ?Sized>(
         }
         if want > 0 && lump_size > 0 {
             // The remainder was apportioned to the ≥q lump.
-            let q = cap.unwrap() as usize;
+            let q = cap.expect("a non-empty lump implies a capped rule") as usize;
             let mi = want.min(lump);
             lump -= mi;
             if cells.len() < q {
@@ -840,7 +840,7 @@ fn scatter_class<R: Rng64 + ?Sized>(
         hist.promote(l, nj, j as u32);
     }
     if lump > 0 {
-        let q = cap.unwrap();
+        let q = cap.expect("promoted lump bins exist only under a capped rule");
         kept += q as u64 * lump;
         hist.promote(l, lump, q);
     }

@@ -179,7 +179,13 @@ impl PartitionedBins {
         assert_eq!(self.order.len(), n);
         assert_eq!(self.pos.len(), n);
         assert_eq!(self.boundary[0], 0);
-        assert_eq!(*self.boundary.last().unwrap(), n as u32);
+        assert_eq!(
+            *self
+                .boundary
+                .last()
+                .expect("boundary always holds at least the leading 0"),
+            n as u32
+        );
         // pos inverts order.
         for (idx, &b) in self.order.iter().enumerate() {
             assert_eq!(self.pos[b as usize] as usize, idx);

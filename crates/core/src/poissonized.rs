@@ -41,7 +41,12 @@ pub fn poisson_access_model<R: Rng64 + ?Sized>(n: usize, t: u64, rng: &mut R) ->
         return vec![0; n];
     }
     let sampler = PoissonSampler::new(t as f64 / n as f64);
-    (0..n).map(|_| sampler.sample(rng) as u32).collect()
+    (0..n)
+        .map(|_| {
+            u32::try_from(sampler.sample(rng))
+                .expect("Poisson(t/n) access count exceeds u32 — loads are u32 workspace-wide")
+        })
+        .collect()
 }
 
 /// The holes functional of Theorem 4.1's proof: with target height

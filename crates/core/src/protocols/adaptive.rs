@@ -67,7 +67,8 @@ impl Adaptive {
     /// "only changes after n balls are allocated".
     pub fn acceptance_bound(&self, n: usize, ball: u64) -> u32 {
         debug_assert!(ball >= 1);
-        ((ball + self.slack as u64 * n as u64).div_ceil(n as u64)) as u32
+        u32::try_from((ball + self.slack as u64 * n as u64).div_ceil(n as u64))
+            .expect("stage index ⌈ball/n⌉ + slack exceeds u32 — loads are u32 workspace-wide")
     }
 }
 

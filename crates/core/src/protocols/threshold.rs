@@ -34,7 +34,8 @@ impl Threshold {
     /// integer loads, i.e. `t = ⌈(m + n)/n⌉`.
     pub fn acceptance_bound(n: usize, m: u64) -> u32 {
         debug_assert!(n > 0);
-        (m + n as u64).div_ceil(n as u64) as u32
+        u32::try_from((m + n as u64).div_ceil(n as u64))
+            .expect("acceptance bound ⌈(m+n)/n⌉ exceeds u32 — loads are u32 workspace-wide")
     }
 }
 
@@ -88,7 +89,8 @@ impl ThresholdSlack {
     /// Integer acceptance bound: smallest `t` with
     /// `load < t ⟺ load < m/n + s`, i.e. `t = ⌈(m + s·n)/n⌉`.
     pub fn acceptance_bound(&self, n: usize, m: u64) -> u32 {
-        (m + self.slack as u64 * n as u64).div_ceil(n as u64) as u32
+        u32::try_from((m + self.slack as u64 * n as u64).div_ceil(n as u64))
+            .expect("acceptance bound ⌈m/n⌉ + slack exceeds u32 — loads are u32 workspace-wide")
     }
 }
 

@@ -144,6 +144,7 @@ pub fn strict_int_bound(limit: f64) -> u32 {
         // the fixup loop below from wrapping at the type boundary.
         return u32::MAX;
     }
+    // lint:allow(N1): limit < u32::MAX is checked by the early return above
     let mut t = limit.ceil() as u32;
     while (t as f64) < limit {
         t += 1;

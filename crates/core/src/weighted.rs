@@ -122,11 +122,12 @@ impl WeightClasses {
     pub fn build(weights: &[f64]) -> Self {
         let w_total = validate_weights(weights);
         // Exact grouping by weight value, ascending.
-        let mut order: Vec<u32> = (0..weights.len() as u32).collect();
+        let n = u32::try_from(weights.len()).expect("bin count exceeds u32 — bin ids are u32");
+        let mut order: Vec<u32> = (0..n).collect();
         order.sort_by(|&a, &b| {
             weights[a as usize]
                 .partial_cmp(&weights[b as usize])
-                .unwrap()
+                .expect("validate_weights rejected NaN, so weights are totally ordered")
         });
         let mut distinct = 0usize;
         let mut prev = f64::NAN;
@@ -149,7 +150,10 @@ impl WeightClasses {
                     weight.push(w);
                     prev = w;
                 }
-                members.last_mut().unwrap().push(j);
+                members
+                    .last_mut()
+                    .expect("a class is pushed before its first member (prev starts at NaN)")
+                    .push(j);
             }
         } else {
             // Geometric buckets over the positive range; the class

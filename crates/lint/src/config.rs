@@ -1,0 +1,299 @@
+//! The committed allowlist: `lint.toml` at the workspace root.
+//!
+//! Grandfathered findings are declared per `(rule, file)` with a hard
+//! `max` count and a mandatory reason:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "N1"
+//! file = "crates/core/src/histogram.rs"
+//! max = 24
+//! reason = "occupancy-class indices are bounded by the load range"
+//! ```
+//!
+//! Semantics are deliberately ratcheting: a file may carry at most
+//! `max` findings of that rule (so new violations in an allowlisted
+//! file still fail), and an entry that matches *zero* findings is
+//! itself an error (so the allowlist can only shrink as debt is paid
+//! down). The parser covers exactly the TOML subset above — `[[allow]]`
+//! tables with string and integer scalars — because the environment
+//! has no registry access for a real TOML crate.
+
+use crate::rules::{Finding, RULE_IDS};
+use std::collections::BTreeMap;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule identifier the entry covers.
+    pub rule: String,
+    /// Workspace-relative file the entry covers.
+    pub file: String,
+    /// Maximum number of findings tolerated for `(rule, file)`.
+    pub max: u32,
+    /// Why the findings are sound (required, non-empty).
+    pub reason: String,
+}
+
+/// Parses the `lint.toml` subset. Returns entries or a message naming
+/// the offending line.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    struct Partial {
+        rule: Option<String>,
+        file: Option<String>,
+        max: Option<u32>,
+        reason: Option<String>,
+        line: usize,
+    }
+    let mut entries = Vec::new();
+    let mut current: Option<Partial> = None;
+    let finish = |p: Partial, entries: &mut Vec<AllowEntry>| -> Result<(), String> {
+        let at = p.line;
+        let entry = AllowEntry {
+            rule: p
+                .rule
+                .ok_or(format!("[[allow]] at line {at}: missing `rule`"))?,
+            file: p
+                .file
+                .ok_or(format!("[[allow]] at line {at}: missing `file`"))?,
+            max: p
+                .max
+                .ok_or(format!("[[allow]] at line {at}: missing `max`"))?,
+            reason: p
+                .reason
+                .ok_or(format!("[[allow]] at line {at}: missing `reason`"))?,
+        };
+        if !RULE_IDS.contains(&entry.rule.as_str()) {
+            return Err(format!(
+                "[[allow]] at line {at}: unknown rule `{}` (known: {RULE_IDS:?})",
+                entry.rule
+            ));
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(format!("[[allow]] at line {at}: empty `reason`"));
+        }
+        if entry.max == 0 {
+            return Err(format!(
+                "[[allow]] at line {at}: max = 0 allows nothing; delete the entry"
+            ));
+        }
+        entries.push(entry);
+        Ok(())
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                finish(p, &mut entries)?;
+            }
+            current = Some(Partial {
+                rule: None,
+                file: None,
+                max: None,
+                reason: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml line {lineno}: expected `key = value`"));
+        };
+        let Some(p) = current.as_mut() else {
+            return Err(format!(
+                "lint.toml line {lineno}: `{}` outside an [[allow]] table",
+                key.trim()
+            ));
+        };
+        let value = value.trim();
+        match key.trim() {
+            "rule" => p.rule = Some(parse_string(value, lineno)?),
+            "file" => p.file = Some(parse_string(value, lineno)?),
+            "reason" => p.reason = Some(parse_string(value, lineno)?),
+            "max" => {
+                p.max = Some(value.parse().map_err(|_| {
+                    format!("lint.toml line {lineno}: `max` must be a positive integer")
+                })?)
+            }
+            other => {
+                return Err(format!("lint.toml line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        finish(p, &mut entries)?;
+    }
+    Ok(entries)
+}
+
+/// Strips a `#` comment that is not inside a basic string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses a basic TOML string (`"…"` with `\"` and `\\` escapes).
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(format!("lint.toml line {lineno}: expected a \"string\""))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Applies the allowlist: findings covered by an entry (count ≤ max)
+/// are suppressed; over-budget groups keep all their findings with a
+/// note; entries matching nothing become `allowlist` findings so the
+/// file ratchets monotonically toward empty.
+pub fn apply_allowlist(findings: Vec<Finding>, entries: &[AllowEntry]) -> Vec<Finding> {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for f in findings {
+        let key = (f.rule.to_string(), f.file.clone());
+        if entries.iter().any(|e| e.rule == key.0 && e.file == key.1) {
+            groups.entry(key).or_default().push(f);
+        } else {
+            out.push(f);
+        }
+    }
+    for e in entries {
+        let key = (e.rule.clone(), e.file.clone());
+        match groups.remove(&key) {
+            None => out.push(Finding {
+                rule: "allowlist",
+                file: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "stale entry: no {} findings in {} — delete it (the allowlist only ratchets \
+                     down)",
+                    e.rule, e.file
+                ),
+            }),
+            Some(group) if group.len() as u32 > e.max => {
+                let over = group.len();
+                for mut f in group {
+                    f.message = format!(
+                        "{} [allowlisted max {} exceeded: {} findings]",
+                        f.message, e.max, over
+                    );
+                    out.push(f);
+                }
+            }
+            Some(_) => {} // grandfathered
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let toml = r#"
+# grandfathered
+[[allow]]
+rule = "N1" # trailing comment
+file = "crates/core/src/x.rs"
+max = 3
+reason = "indices bounded by construction"
+"#;
+        let e = parse_allowlist(toml).expect("parses");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, "N1");
+        assert_eq!(e[0].max, 3);
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_rules() {
+        assert!(parse_allowlist("[[allow]]\nrule = \"N1\"\n").is_err());
+        let bad = "[[allow]]\nrule = \"Z9\"\nfile = \"a\"\nmax = 1\nreason = \"r\"\n";
+        assert!(parse_allowlist(bad)
+            .expect_err("unknown rule")
+            .contains("Z9"));
+        assert!(parse_allowlist("x = 1\n").is_err());
+        let zero = "[[allow]]\nrule = \"N1\"\nfile = \"a\"\nmax = 0\nreason = \"r\"\n";
+        assert!(parse_allowlist(zero).is_err());
+    }
+
+    #[test]
+    fn allowlist_suppresses_up_to_max() {
+        let entries = vec![AllowEntry {
+            rule: "N1".to_string(),
+            file: "a.rs".to_string(),
+            max: 2,
+            reason: "r".to_string(),
+        }];
+        let kept = apply_allowlist(vec![f("N1", "a.rs", 1), f("N1", "a.rs", 2)], &entries);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn allowlist_over_budget_reports_all() {
+        let entries = vec![AllowEntry {
+            rule: "N1".to_string(),
+            file: "a.rs".to_string(),
+            max: 1,
+            reason: "r".to_string(),
+        }];
+        let kept = apply_allowlist(
+            vec![f("N1", "a.rs", 1), f("N1", "a.rs", 2), f("P1", "b.rs", 3)],
+            &entries,
+        );
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().any(|x| x.message.contains("max 1 exceeded")));
+    }
+
+    #[test]
+    fn stale_entries_are_findings() {
+        let entries = vec![AllowEntry {
+            rule: "D2".to_string(),
+            file: "gone.rs".to_string(),
+            max: 1,
+            reason: "r".to_string(),
+        }];
+        let kept = apply_allowlist(vec![], &entries);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "allowlist");
+    }
+}

@@ -1,0 +1,509 @@
+//! A minimal Rust lexer: just enough structure to lint on.
+//!
+//! The rule engine only needs to tell four things apart reliably —
+//! identifiers/keywords, literals, punctuation, and comments — with a
+//! line number attached to each, and it must never confuse a string or
+//! comment *mentioning* `unwrap` with code *calling* it. So this lexer
+//! handles the full Rust escaping surface (line/block comments with
+//! nesting, plain and raw strings with arbitrary `#` fences, byte
+//! strings, char literals vs lifetimes, raw identifiers) but makes no
+//! attempt at parsing: the token stream is flat, and multi-character
+//! operators come out as single-character [`TokenKind::Punct`] runs
+//! that rules match as sequences.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (integer or float, any base).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `#`, `(`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token text as written. For [`TokenKind::Str`] this includes
+    /// the quotes (and raw-string fences), so an empty string literal
+    /// is exactly `"\"\""`.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based starting line.
+///
+/// Comments are kept out of the token stream but preserved here: the
+/// suppression pragma (`// lint:allow(…): why`) and the C1 adjacency
+/// contract (`// SAFETY:` / `// ORDERING:`) both live in comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (equals `line` for
+    /// line comments; larger for multi-line block comments).
+    pub end_line: u32,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs (string or block comment) are
+/// tolerated by consuming to end of input: the linter must degrade
+/// gracefully on files mid-edit rather than panic.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(String::new()),
+                'r' | 'b' => self.raw_or_ident(),
+                '\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.ident(String::new()),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A plain (escaped) string literal; `prefix` carries any `b`.
+    fn string(&mut self, prefix: String) {
+        let line = self.line;
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '"' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Str, text, line);
+    }
+
+    /// Raw string (`r"…"`, `r#"…"#`, `br##"…"##`), byte string, raw
+    /// identifier (`r#match`), or a plain identifier starting with
+    /// `r`/`b`.
+    fn raw_or_ident(&mut self) {
+        let line = self.line;
+        let mut prefix = String::new();
+        prefix.push(self.peek(0).expect("caller saw a char"));
+        // `br` / `rb` double prefix.
+        let two = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some('b'), Some('r')) | (Some('r'), Some('b'))
+        );
+        let after = if two { 2 } else { 1 };
+        if two {
+            prefix.push(self.peek(1).expect("two-char prefix"));
+        }
+        match self.peek(after) {
+            // b'x' byte literal.
+            Some('\'') if prefix == "b" => {
+                self.bump();
+                self.char_literal(prefix);
+            }
+            Some('"') => {
+                for _ in 0..after {
+                    self.bump();
+                }
+                if prefix.contains('r') {
+                    self.raw_string(prefix, 0);
+                } else {
+                    self.string(prefix);
+                }
+            }
+            Some('#') if prefix.contains('r') => {
+                // Count fence hashes; `r#"` is a raw string, `r#ident`
+                // is a raw identifier.
+                let mut hashes = 0;
+                while self.peek(after + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(after + hashes) == Some('"') {
+                    for _ in 0..after + hashes + 1 {
+                        self.bump();
+                    }
+                    self.raw_string(prefix, hashes);
+                } else {
+                    // Raw identifier: consume prefix + `#`, lex ident.
+                    for _ in 0..after + 1 {
+                        self.bump();
+                    }
+                    self.ident(String::new());
+                }
+            }
+            _ => self.ident(String::new()),
+        }
+        let _ = line;
+    }
+
+    /// Body of a raw string whose opening fence is already consumed.
+    fn raw_string(&mut self, prefix: String, hashes: usize) {
+        let line = self.line;
+        let mut text = prefix;
+        text.push_str(&"#".repeat(hashes));
+        text.push('"');
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push_token(TokenKind::Str, text, line);
+    }
+
+    /// `'a` lifetime vs `'x'` char literal, disambiguated by lookahead:
+    /// a quote-ident not followed by a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime = match (one, two) {
+            (Some(c), Some(q)) if is_ident_start(c) => q != '\'',
+            (Some(c), None) if is_ident_start(c) => true,
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // quote
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push_token(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal(String::new());
+        }
+    }
+
+    /// A char literal starting at the opening quote.
+    fn char_literal(&mut self, prefix: String) {
+        let line = self.line;
+        let mut text = prefix;
+        text.push('\'');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '\'' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, mut text: String) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokenKind::Ident, text, line);
+    }
+
+    /// Numeric literal. `.` is consumed only when followed by a digit so
+    /// that ranges (`0..n`) and method calls on literals (`1.max(x)`)
+    /// keep their punctuation; exponent signs are folded in.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // `1e-5` / `0x…` handled by the alnum arm; fold the
+                // exponent sign so `-5` does not become a Punct.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    text.push(self.bump().expect("peeked sign"));
+                }
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Number, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("// Instant\n/* HashMap */ let x = 1;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(idents("// Instant\nlet x = 1;")
+            .iter()
+            .all(|i| i != "Instant"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, "/* a /* b */ c */");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let s = "unwrap() HashMap";"#), vec!["let", "s"]);
+        assert_eq!(
+            idents(r##"let s = r#"Instant "quoted""#;"##),
+            vec!["let", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        let l = lex(r####"let s = r###"x "## y"###;"####);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.ends_with("\"###"));
+    }
+
+    #[test]
+    fn empty_string_literal_is_recognisable() {
+        let l = lex(r#"x.expect("")"#);
+        let s = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("one string");
+        assert_eq!(s.text, "\"\"");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_quote() {
+        let l = lex(r"let c = '\''; let d = '\n';");
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("for i in 0..10 { 1.5e-3; 2.max(i); }");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "2"]);
+        assert!(l.tokens.iter().any(|t| t.text == "max"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof() {
+        let l = lex("let s = \"oops");
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

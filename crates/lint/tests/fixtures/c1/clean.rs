@@ -1,0 +1,9 @@
+//! C1 clean fixture: the ordering argument lives next to the code.
+// ORDERING: the counter is a pure event tally; no other memory is
+// published through it, so Relaxed is sufficient.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) -> u64 {
+    // ORDERING: Relaxed — see the contract above; uniqueness only.
+    x.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,9 @@
+//! C1 suppressed fixture.
+// lint:allow(C1): spike branch, ordering argument tracked in the CAS-engine issue
+use std::sync::atomic::AtomicU64;
+
+pub fn make() -> u64 {
+    // lint:allow(C1): same spike as above
+    let x = AtomicU64::new(0);
+    x.into_inner()
+}

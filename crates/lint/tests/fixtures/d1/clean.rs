@@ -1,0 +1,6 @@
+//! D1 clean fixture: durations may be *stored*, never *measured*.
+use std::time::Duration;
+
+pub fn budget() -> Duration {
+    Duration::from_millis(100)
+}

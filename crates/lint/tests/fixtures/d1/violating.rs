@@ -1,0 +1,9 @@
+//! D1 violating fixture: wall-clock read in an engine crate.
+use std::time::Instant;
+
+pub fn timed_run() -> u64 {
+    let start = Instant::now();
+    let work = 40 + 2;
+    let _ = start.elapsed();
+    work
+}

@@ -1,0 +1,10 @@
+//! D2 clean fixture: BTreeMap iterates in key order.
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

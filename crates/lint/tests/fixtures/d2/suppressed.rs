@@ -1,0 +1,14 @@
+//! D2 suppressed fixture.
+// lint:allow(D2): counts are re-sorted before anything reads them
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
+    // lint:allow(D2): counts are sorted below before anything reads them
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}

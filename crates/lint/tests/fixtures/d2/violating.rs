@@ -1,0 +1,10 @@
+//! D2 violating fixture: hash-order iteration in an Outcome crate.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.into_iter().collect() // nondeterministic order
+}

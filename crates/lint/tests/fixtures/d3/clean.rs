@@ -1,0 +1,7 @@
+//! D3 clean fixture: every stream flows from the seed path types.
+use bib_rng::SeedSequence;
+
+pub fn roll(master: u64) -> u64 {
+    let mut rng = SeedSequence::new(master).child(0).rng();
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+//! D3 suppressed fixture.
+pub fn roll() -> u64 {
+    // lint:allow(D3): interactive demo binary, reproducibility not required
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+//! D3 violating fixture: ambient-entropy RNG construction.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! N1 clean fixture: widen, or convert with a checked helper.
+pub fn to_total(load: u32) -> u64 {
+    u64::from(load) * 2
+}
+
+pub fn to_load(count: u64) -> u32 {
+    u32::try_from(count).expect("count bounded by the u32 load range")
+}

@@ -1,0 +1,5 @@
+//! N1 suppressed fixture.
+pub fn to_load(count: u64) -> u32 {
+    // lint:allow(N1): count <= n <= u32::MAX by the constructor contract
+    count as u32
+}

@@ -1,0 +1,4 @@
+//! N1 violating fixture: narrowing cast in count arithmetic.
+pub fn to_load(count: u64) -> u32 {
+    count as u32
+}

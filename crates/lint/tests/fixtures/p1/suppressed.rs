@@ -1,0 +1,5 @@
+//! P1 suppressed fixture.
+pub fn head(xs: &[u32]) -> u32 {
+    // lint:allow(P1): prototype path, real error handling lands with the Result refactor
+    *xs.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! P1 violating fixture: bare unwrap and empty expect in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u32]) -> u32 {
+    *xs.last().expect("")
+}

@@ -10,6 +10,9 @@
 
 use crossbeam::channel;
 use std::num::NonZeroUsize;
+// ORDERING: the one atomic here is a work-claim ticket counter; all
+// result data flows through the channel, whose send/recv pair carries
+// the happens-before edge. See the comments at the use sites.
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use by default: the machine's available
@@ -50,6 +53,8 @@ where
         return (0..count).map(&f).collect();
     }
 
+    // ORDERING: `next` hands out task indices; uniqueness is all that
+    // matters, not ordering against other memory, so Relaxed suffices.
     let next = AtomicUsize::new(0);
     let (tx, rx) = channel::bounded::<(usize, T)>(count);
     std::thread::scope(|scope| {
@@ -59,6 +64,9 @@ where
             let f = &f;
             scope.spawn(move || {
                 loop {
+                    // ORDERING: Relaxed fetch_add — each worker needs a
+                    // unique ticket; the result itself synchronises via
+                    // the channel send below.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= count {
                         break;
@@ -104,6 +112,8 @@ fn fold_adapter<A, T>(g: &mut impl FnMut(A, T) -> A) -> impl FnMut(A, T) -> A + 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // ORDERING: tests only count events with a Relaxed counter; the
+    // scope join provides the final happens-before for the assert.
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -126,11 +136,14 @@ mod tests {
 
     #[test]
     fn every_task_runs_exactly_once() {
+        // ORDERING: Relaxed is enough — par_map joins its scope before
+        // returning, which orders every increment before the load.
         let counter = AtomicUsize::new(0);
         let out = par_map(500, 4, |i| {
             counter.fetch_add(1, Ordering::Relaxed);
             i
         });
+        // ORDERING: reads after the scope join; Relaxed cannot miss.
         assert_eq!(counter.load(Ordering::Relaxed), 500);
         assert_eq!(out.len(), 500);
     }

@@ -248,6 +248,7 @@ pub(crate) fn sharded_shuffled_loads<R: Rng64 + ?Sized>(
     for b in 0..num_blocks {
         let block = SHARD_BLOCK.min(remaining);
         block_composition(&mut classes, remaining, block, rng, |i, _, t| {
+            // lint:allow(N1): t ≤ SHARD_BLOCK = 2²¹ fits u32 by construction
             comps[b * k + i] = t as u32
         });
         remaining -= block;

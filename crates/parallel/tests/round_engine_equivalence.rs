@@ -27,7 +27,7 @@ use bib_core::prelude::*;
 use bib_core::protocol::StageTrace;
 use bib_core::run::{run_protocol, run_with_observer};
 use bib_parallel::protocols::{BoundedLoad, Collision, ParallelGreedy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Two-sample Pearson chi-square on a pair of histograms with pooling
 /// of sparse cells; returns the p-value of "same distribution".
@@ -205,16 +205,16 @@ fn collision_brute(
     m: u32,
     c: u32,
     max_rounds: u32,
-) -> (HashMap<(Vec<u32>, u32), f64>, f64) {
+) -> (BTreeMap<(Vec<u32>, u32), f64>, f64) {
     const STALL_LIMIT: u32 = 8; // Collision::STALL_LIMIT
-    type Live = HashMap<(Vec<u32>, u32, u32), f64>; // (loads, unplaced, stalled)
-    let mut live: Live = HashMap::new();
+    type Live = BTreeMap<(Vec<u32>, u32, u32), f64>; // (loads, unplaced, stalled)
+    let mut live: Live = BTreeMap::new();
     live.insert((vec![0; n], m, 0), 1.0);
-    let mut terminal: HashMap<(Vec<u32>, u32), f64> = HashMap::new();
+    let mut terminal: BTreeMap<(Vec<u32>, u32), f64> = BTreeMap::new();
     let mut rounds = 0u32;
     while !live.is_empty() && rounds < max_rounds {
         rounds += 1;
-        let mut next: Live = HashMap::new();
+        let mut next: Live = BTreeMap::new();
         for ((loads, unplaced, stalled), prob) in live {
             let u = unplaced as usize;
             let branches = (n as u64).pow(u as u32);
@@ -278,7 +278,7 @@ fn gof_against_brute(n: usize, m: u32, c: u32, engine: Engine, reps: u64) {
     assert!(leftover < 1e-9, "enumeration truncated too much mass");
     let mut keys: Vec<&(Vec<u32>, u32)> = dist.keys().collect();
     keys.sort();
-    let index: HashMap<_, _> = keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+    let index: BTreeMap<_, _> = keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
     let probs: Vec<f64> = keys.iter().map(|k| dist[*k]).collect();
     let mut observed = vec![0u64; keys.len()];
     let mut overflow = 0u64;
