@@ -8,7 +8,12 @@
 //! rounds vs the round-occupancy engine at `n = m = 10⁷`) — one row per
 //! cell, each tagged with its `scenario`
 //! (`uniform` | `weighted` | `parallel`), and writes a machine-readable
-//! JSON record (schema v3) so the perf trajectory is tracked in-repo. The committed `BENCH_engines.json` at
+//! JSON record (schema v4) so the perf trajectory is tracked in-repo.
+//! Each row carries `loads_materialized`: whether the outcome ever
+//! built its dense per-bin vector. Full (non-smoke) runs add the
+//! giant-n histogram-only rows — adaptive and collision at `n = 10⁸`
+//! and `10⁹` — which are only possible because the lazy outcome keeps
+//! memory independent of `n`. The committed `BENCH_engines.json` at
 //! the repo root is a full run on the reference machine; CI re-runs
 //! `--quick` to catch engine regressions that break the run itself.
 //!
@@ -59,6 +64,9 @@ struct Cell {
     wall_ms_best: f64,
     samples_per_ball: f64,
     mballs_per_sec: f64,
+    /// Whether the outcome materialized its dense per-bin load vector
+    /// (false = lazy histogram outcome; the giant-n rows require it).
+    loads_materialized: bool,
 }
 
 fn measure(spec: &Spec, seed: u64) -> Cell {
@@ -73,6 +81,7 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
     let mut wall_ms_best = f64::MAX;
     let mut samples = 0u64;
     let mut scenario = "uniform";
+    let mut loads_materialized = false;
     for rep in 0..spec.reps {
         let start = Instant::now();
         let out = run_protocol(spec.proto.as_ref(), &spec.cfg, seed.wrapping_add(rep));
@@ -81,6 +90,7 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
         wall_ms_best = wall_ms_best.min(ms);
         samples += out.total_samples;
         scenario = out.scenario.label();
+        loads_materialized = out.loads.is_materialized();
     }
     let wall_ms_mean = wall_ms / spec.reps as f64;
     Cell {
@@ -98,6 +108,7 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
             samples as f64 / (spec.reps * spec.cfg.m) as f64
         },
         mballs_per_sec: spec.cfg.m as f64 / wall_ms_best / 1e3,
+        loads_materialized,
     }
 }
 
@@ -263,6 +274,35 @@ fn main() {
         }
     }
 
+    // Giant-n histogram-only rows: with the lazy outcome the engine's
+    // state and result are both histograms, so memory is independent
+    // of n and the sweep reaches n = 10⁸ and 10⁹ — sizes where merely
+    // allocating the dense load vector would cost seconds (or, at
+    // 10⁹ bins × 4 B, four gigabytes). One sequential row (adaptive —
+    // the paper's protocol — at phi = 16, milliseconds even at
+    // 1.6 × 10¹⁰ balls) and one parallel row (collision at m = n) per
+    // size.
+    if !smoke {
+        for n_g in [100_000_000usize, 1_000_000_000] {
+            let cfg = RunConfig::new(n_g, 16 * n_g as u64).with_engine(Engine::Histogram);
+            specs.push(Spec {
+                proto: Box::new(Adaptive::paper()),
+                cfg,
+                reps: 3,
+                engine: Engine::Histogram.name(),
+                name: None,
+            });
+            let cfg = RunConfig::new(n_g, n_g as u64).with_engine(Engine::Histogram);
+            specs.push(Spec {
+                proto: Box::new(Collision::new(1)),
+                cfg,
+                reps: 3,
+                engine: Engine::Histogram.name(),
+                name: None,
+            });
+        }
+    }
+
     let threads = if serial {
         1
     } else {
@@ -272,7 +312,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v4\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -287,7 +327,8 @@ fn main() {
             json,
             "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"engine\": \"{}\", \
              \"n\": {}, \"m\": {}, \"reps\": {}, \"wall_ms_mean\": {:.3}, \
-             \"wall_ms_best\": {:.3}, \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}}}",
+             \"wall_ms_best\": {:.3}, \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}, \
+             \"loads_materialized\": {}}}",
             c.protocol,
             c.scenario,
             c.engine,
@@ -297,7 +338,8 @@ fn main() {
             c.wall_ms_mean,
             c.wall_ms_best,
             c.samples_per_ball,
-            c.mballs_per_sec
+            c.mballs_per_sec,
+            c.loads_materialized
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -312,7 +354,7 @@ fn main() {
         threads
     );
     println!(
-        "{:<20} {:<10} {:>14} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "{:<20} {:<10} {:>14} {:>11} {:>13} {:>12} {:>12} {:>14} {:>12} {:>6}",
         "protocol",
         "scenario",
         "engine",
@@ -321,11 +363,12 @@ fn main() {
         "wall_mean",
         "wall_best",
         "samples/ball",
-        "Mballs/s"
+        "Mballs/s",
+        "lazy"
     );
     for c in &cells {
         println!(
-            "{:<20} {:<10} {:>14} {:>8} {:>12} {:>12.3} {:>12.3} {:>14.4} {:>12.2}",
+            "{:<20} {:<10} {:>14} {:>11} {:>13} {:>12.3} {:>12.3} {:>14.4} {:>12.2} {:>6}",
             c.protocol,
             c.scenario,
             c.engine,
@@ -334,7 +377,8 @@ fn main() {
             c.wall_ms_mean,
             c.wall_ms_best,
             c.samples_per_ball,
-            c.mballs_per_sec
+            c.mballs_per_sec,
+            if c.loads_materialized { "no" } else { "yes" }
         );
     }
 }

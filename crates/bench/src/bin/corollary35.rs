@@ -7,8 +7,14 @@
 //! (printed for reference from `bib-analysis::paper`).
 //!
 //! ```text
-//! cargo run --release -p bib-bench --bin corollary35 [-- --quick --csv]
+//! cargo run --release -p bib-bench --bin corollary35 [-- --quick --csv --no-loads]
 //! ```
+//!
+//! With `--no-loads` the sweep runs histogram-only — every statistic
+//! comes from the occupancy histogram, each outcome is asserted to
+//! never materialize its dense load vector, and the size grid extends
+//! to `n = 2²⁷ ≈ 1.3 × 10⁸` and `n = 2³⁰ ≈ 1.1 × 10⁹` bins (memory
+//! stays independent of `n`).
 
 use bib_analysis::paper;
 use bib_bench::{f, ExpArgs, Table};
@@ -24,7 +30,7 @@ fn main() {
     // hardwired faithful default that made n = 2²¹ a few minutes; pass
     // `--engine faithful` to reproduce the exact per-ball process when
     // verifying the smoothness constants rather than sweeping them.
-    let ns: Vec<usize> = args.pick(
+    let mut ns: Vec<usize> = args.pick(
         vec![
             1 << 14,
             1 << 15,
@@ -37,8 +43,22 @@ fn main() {
         ],
         vec![1 << 8, 1 << 10],
     );
+    if args.no_loads && !args.quick {
+        // Histogram-only mode unlocks the giant-n regime: the outcome
+        // stays a histogram (memory independent of n), so the sweep
+        // extends to n ≈ 10⁸ and 10⁹ bins.
+        ns.extend([1 << 27, 1 << 30]);
+    }
     let phi_load = 32u64;
     let reps = args.reps_or(20, 5);
+    // --no-loads pins the histogram engine outright (Auto resolves the
+    // heavy cells there anyway) so the lazy assertion below is a
+    // guarantee, not a bet on the resolver.
+    let default_engine = if args.no_loads {
+        Engine::Histogram
+    } else {
+        Engine::Auto
+    };
 
     let consts = paper::constants();
     println!("# Corollary 3.5: adaptive smoothness vs n at phi = {phi_load}; {reps} reps");
@@ -50,8 +70,11 @@ fn main() {
     let mut table = Table::new(vec!["n", "phi/n", "psi/n", "gap", "gap/log2(n)"]);
     for &n in &ns {
         let m = phi_load * n as u64;
-        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
+        let cfg = RunConfig::new(n, m).with_engine(args.engine_or(default_engine));
         let outs = replicate_outcomes(&Adaptive::paper(), &cfg, &args.replicate_spec(reps));
+        for o in &outs {
+            args.assert_lazy(o, &format!("adaptive n={n}"));
+        }
         let phi = summarize_metric(&outs, |o| o.phi() / n as f64);
         let psi = summarize_metric(&outs, |o| o.psi() / n as f64);
         let gap = summarize_metric(&outs, |o| o.gap() as f64);

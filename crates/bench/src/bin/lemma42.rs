@@ -9,8 +9,14 @@
 //! Ψ/n and gap stay flat — Corollary 3.5).
 //!
 //! ```text
-//! cargo run --release -p bib-bench --bin lemma42 [-- --quick --csv]
+//! cargo run --release -p bib-bench --bin lemma42 [-- --quick --csv --no-loads]
 //! ```
+//!
+//! With `--no-loads` both columns run on the histogram engine and every
+//! outcome is asserted to never materialize its dense load vector. The
+//! size grid stays put — `m = n²` is a ball-count wall, not a bin-count
+//! one — so here the flag is a lazy-contract check, not a scale unlock
+//! (that regime lives in `corollary35 --no-loads`).
 
 use bib_analysis::stats::power_fit;
 use bib_bench::{f, ExpArgs, Table};
@@ -52,11 +58,23 @@ fn main() {
         // occupancy approximation is ample for the flat Ψ/n and gap
         // columns, and `--engine faithful` reproduces the exact process
         // when wanted.
-        let thr_cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::LevelBatched));
-        let ada_cfg = RunConfig::new(n, m).with_engine(args.engine_or(Engine::Auto));
+        // --no-loads re-pins both columns to the histogram engine
+        // (level-batched materializes eagerly, and Auto may resolve to
+        // a dense engine at small n) so the lazy assertion holds on
+        // every outcome.
+        let (thr_default, ada_default) = if args.no_loads {
+            (Engine::Histogram, Engine::Histogram)
+        } else {
+            (Engine::LevelBatched, Engine::Auto)
+        };
+        let thr_cfg = RunConfig::new(n, m).with_engine(args.engine_or(thr_default));
+        let ada_cfg = RunConfig::new(n, m).with_engine(args.engine_or(ada_default));
         let spec = args.replicate_spec(reps);
         let thr = replicate_outcomes(&Threshold, &thr_cfg, &spec);
         let ada = replicate_outcomes(&Adaptive::paper(), &ada_cfg, &spec);
+        for o in thr.iter().chain(ada.iter()) {
+            args.assert_lazy(o, &format!("n={n}"));
+        }
 
         let n98 = (n as f64).powf(9.0 / 8.0);
         let n18 = (n as f64).powf(1.0 / 8.0);

@@ -18,7 +18,11 @@
 //! * `--out <path>` — write the tables (in the chosen format) to a file
 //!   instead of stdout; commentary stays on stdout. Multiple tables
 //!   append in order;
-//! * `--csv` — emit machine-readable CSV instead of an aligned table.
+//! * `--csv` — emit machine-readable CSV instead of an aligned table;
+//! * `--no-loads` — histogram-only sweep mode: every statistic comes
+//!   from the occupancy histogram and the binary asserts that no
+//!   outcome ever materializes its dense per-bin vector, so memory
+//!   stays independent of `n` (the `n = 10⁹` regime).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,11 @@ pub struct ExpArgs {
     pub out: Option<String>,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Histogram-only sweep mode: the binary must compute every
+    /// statistic from the occupancy histogram and assert that no
+    /// outcome ever materializes its dense load vector — the mode that
+    /// makes `n = 10⁹` sweeps memory-independent of `n`.
+    pub no_loads: bool,
     /// Whether the `--out` file has been started (first emit truncates,
     /// later emits append) — interior state so a long run never leaves
     /// a destroyed file behind before it has something to write.
@@ -66,6 +75,7 @@ impl ExpArgs {
             threads: None,
             out: None,
             csv: false,
+            no_loads: false,
             out_started: std::cell::Cell::new(false),
         }
     }
@@ -90,6 +100,7 @@ impl ExpArgs {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--csv" => out.csv = true,
+                "--no-loads" => out.no_loads = true,
                 "--seed" => {
                     out.seed = args
                         .next()
@@ -122,8 +133,9 @@ impl ExpArgs {
                 other => {
                     if !extra(other, &mut args) {
                         panic!(
-                            "unknown flag {other}; supported: --quick --csv --seed <u64> \
-                             --reps <u64> --engine <faithful|jump|level-batched|histogram|auto> \
+                            "unknown flag {other}; supported: --quick --csv --no-loads \
+                             --seed <u64> --reps <u64> \
+                             --engine <faithful|jump|level-batched|histogram|auto> \
                              --threads <n> --out <path>"
                         )
                     }
@@ -157,6 +169,19 @@ impl ExpArgs {
         match self.threads {
             Some(t) => spec.with_threads(t),
             None => spec,
+        }
+    }
+
+    /// In `--no-loads` mode, asserts that `out` never materialized its
+    /// dense load vector (no-op otherwise). Sweep binaries call this on
+    /// every outcome they fold into a table, making the histogram-only
+    /// claim an enforced invariant rather than a hope.
+    pub fn assert_lazy(&self, out: &bib_core::protocol::Outcome, ctx: &str) {
+        if self.no_loads {
+            assert!(
+                !out.loads.is_materialized(),
+                "--no-loads: {ctx} materialized its load vector"
+            );
         }
     }
 

@@ -268,7 +268,7 @@ fn bench_json_smoke_writes_valid_json() {
     assert!(echo.contains("level-batched"));
     assert!(echo.contains("histogram"));
     let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
-    assert!(json.contains("\"schema\": \"bib-bench/engines/v3\""));
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v4\""));
     assert!(json.contains("\"host\""), "host metadata missing");
     assert!(json.contains("\"threads\""), "thread count missing");
     assert!(json.contains("\"rustc\""), "rustc version missing");
@@ -278,11 +278,21 @@ fn bench_json_smoke_writes_valid_json() {
     // one-choice row)) and the parallel-round block (3 protocols x
     // {faithful, histogram, auto}).
     assert_eq!(json.matches("\"protocol\"").count(), 57);
-    // Schema v3: every row is tagged with its scenario.
+    // Every row is tagged with its scenario and (schema v4) records
+    // whether it ever materialized the dense load vector.
     assert_eq!(
         json.matches("\"protocol\"").count(),
         json.matches("\"scenario\"").count(),
         "every row must carry a scenario tag"
+    );
+    assert_eq!(
+        json.matches("\"protocol\"").count(),
+        json.matches("\"loads_materialized\"").count(),
+        "every row must carry the lazy-outcome flag"
+    );
+    assert!(
+        json.contains("\"loads_materialized\": false"),
+        "histogram rows must stay lazy"
     );
     for engine in ["faithful", "jump", "level-batched", "histogram", "auto"] {
         assert!(
@@ -319,6 +329,26 @@ fn bench_json_smoke_writes_valid_json() {
         );
     }
     std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn histogram_only_sweep_asserts_lazy_outcomes() {
+    // --no-loads runs the sweep histogram-only; the binaries panic if
+    // any outcome materializes its load vector, so a clean exit is the
+    // lazy-contract assertion.
+    let out = run(
+        env!("CARGO_BIN_EXE_corollary35"),
+        &["--quick", "--csv", "--no-loads", "--reps", "2"],
+    );
+    let (h, rows) = parse_csv(&out);
+    assert!(!rows.is_empty());
+    assert!(h.iter().any(|c| c == "phi/n"));
+    let out = run(
+        env!("CARGO_BIN_EXE_lemma42"),
+        &["--quick", "--csv", "--no-loads", "--reps", "2"],
+    );
+    let (_, rows) = parse_csv(&out);
+    assert!(!rows.is_empty());
 }
 
 #[test]

@@ -56,10 +56,15 @@
 //! mass conservation and the `⌈m/n⌉+1` capacity bound hold surely —
 //! whose residual error the chi-square suite in
 //! `tests/histogram_equivalence.rs` bounds against the faithful engine.
-//! *Bin identities*: synthetic — the histogram is assigned to bin
-//! indices through one uniform seeded permutation (the faithful law is
-//! exchangeable, so the reconstructed vector has the correct joint
-//! distribution to the extent the histogram does). *Total samples*: a
+//! *Bin identities*: synthetic — and **lazy**: a no-observer run
+//! returns the histogram itself plus a reconstruction seed
+//! ([`crate::loads::Loads`]), and a concrete vector is only built if a
+//! caller demands per-bin loads (uniform seeded assignment; the
+//! faithful law is exchangeable, so the reconstructed vector has the
+//! correct joint distribution to the extent the histogram does). Runs
+//! with a stage-trace observer materialize eagerly through one seeded
+//! permutation so bin identities stay consistent across the trace.
+//! *Total samples*: a
 //! CLT-faithful negative-binomial draw per round, exact geometrics on
 //! the tail, exactly `d·m` / `m` for `greedy[d]` / `one-choice`.
 //! *Per-ball events*: `Observer::on_ball` never fires; stage traces fire
@@ -70,7 +75,7 @@ use crate::level_batched::{BatchStats, ThresholdSchedule};
 use crate::protocol::{Observer, Outcome, RunConfig};
 use crate::scenario::Scenario;
 use bib_rng::dist::{BinomialSampler, Distribution, GeometricSampler};
-use bib_rng::{Rng64, RngExt};
+use bib_rng::{Rng64, RngExt, SeedSequence, SplitMix64};
 
 /// Below this many remaining balls a batched round stops paying for its
 /// fixed `O(#levels)` cost and the exact per-ball tail takes over.
@@ -216,7 +221,7 @@ impl OccupancyHistogram {
     /// count)` pairs with `count > 0`. The span is `O(#distinct loads)`,
     /// so callers snapshotting the classes (the round engines, the
     /// weighted engine) pay nothing for the collapsed state.
-    pub fn levels(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+    pub fn levels(&self) -> impl Iterator<Item = (u32, u64)> + Clone + '_ {
         self.counts
             .iter()
             .enumerate()
@@ -291,6 +296,38 @@ impl OccupancyHistogram {
         }
         debug_assert_eq!(offset as u64, n);
         loads
+    }
+
+    /// Builds the histogram of an existing load vector (one counting
+    /// pass; storage is the live span, not the max load). Panics on an
+    /// empty slice — a histogram needs at least one bin.
+    pub fn from_loads(loads: &[u32]) -> Self {
+        assert!(!loads.is_empty(), "OccupancyHistogram: need ≥ 1 bin");
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for &l in loads {
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+        let mut counts = vec![0u64; (hi - lo) as usize + 1];
+        for &l in loads {
+            counts[(l - lo) as usize] += 1;
+        }
+        Self {
+            counts,
+            base: lo,
+            n: loads.len() as u64,
+        }
+    }
+
+    /// Total balls held: `Σ ℓ·count(ℓ)` over the live span.
+    pub fn total_balls(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            // lint:allow(N1): i indexes the live span, bounded by the u32 load range
+            .map(|(i, &c)| (self.base + i as u32) as u64 * c)
+            .sum()
     }
 
     /// All loads in ascending order (length `n`).
@@ -438,6 +475,21 @@ fn round_samples<R: Rng64 + ?Sized>(hits: u64, p: f64, rng: &mut R) -> u64 {
     crate::level_batched::stream_samples_for_hits_bounded(hits, p, SAMPLES_EXACT_CUTOFF, rng)
 }
 
+/// Guaranteed stopping level for the hazard walks over a `Bin(h, 1/c)`
+/// marginal: the true mass beyond `λ + 40√λ + 64` is below `e⁻³⁰⁰`, so
+/// parking the stragglers there is the same approximation the
+/// `tail < 1e-12` exhaustion break makes — but it triggers *surely*.
+/// The exhaustion break alone is fragile: float error in the seeded
+/// pmf floors the walked tail at the seed's relative error, and when
+/// that floor sits above the cutoff the stragglers ride `j` all the
+/// way to `h` — an O(h) walk plus an O(h) cells vector for the drift
+/// repair to crawl, which at `n = 2²⁷` turned sub-millisecond rounds
+/// into minutes.
+fn park_level(c: u64, h: u64) -> u64 {
+    let lambda = h as f64 / c as f64;
+    ((lambda + 40.0 * lambda.max(1.0).sqrt() + 64.0) as u64).min(h)
+}
+
 /// Scatters `h` uniform hits over one occupancy class of `c`
 /// exchangeable bins at load `l`, each with remaining capacity `cap`
 /// (`None` = unbounded), updating the histogram and returning the
@@ -556,30 +608,21 @@ fn scatter_class<R: Rng64 + ?Sized>(
                          // start with pmf(0) = (1−1/c)^h in deep underflow, so the walk
                          // carries the pmf in log space until it surfaces, then switches to
                          // the two-flop linear recurrence for the bulk of the levels.
-                         // (1−1/c)^h: powi while it stays in normal range (the common case),
-                         // the log-space recurrence start otherwise.
-    let mut pmf = if h <= i32::MAX as u64 {
-        (1.0 - 1.0 / c as f64).powi(h as i32)
-    } else {
-        0.0
-    };
+                         // (1−1/c)^h is seeded through the log: powi's relative error grows
+                         // like h·ε, which past h ≈ 10⁸ can leave the walked tail floored
+                         // *above* the exhaustion cutoff so the break never fires.
+    let mut ln_pmf = h as f64 * (-1.0 / c as f64).ln_1p();
+    let mut pmf = ln_pmf.exp();
     let mut log_mode = pmf < 1e-290;
-    let mut ln_pmf = if log_mode {
-        h as f64 * (-1.0 / c as f64).ln_1p()
-    } else {
-        0.0
-    };
-    if log_mode {
-        pmf = ln_pmf.exp();
-    }
     let mut tail = 1.0f64; // P(X ≥ j)
+    let j_park = park_level(c, h);
     while c_rem > 0 {
         let j = cells.len() as u64;
         if cap.is_some_and(|q| q as u64 == j) {
             lump = c_rem;
             break;
         }
-        if j >= h || tail < 1e-12 {
+        if j >= j_park || tail < 1e-12 {
             // The walked tail mass is numerically exhausted; park the
             // stragglers at the current level (the repair below keeps
             // total mass exact).
@@ -1027,24 +1070,17 @@ pub(crate) fn round_uniform<R: Rng64 + ?Sized>(
 fn draw_occupancy_cells<R: Rng64 + ?Sized>(k: u64, h: u64, cells: &mut Vec<u64>, rng: &mut R) {
     cells.clear();
     let mut c_rem = k;
-    let mut pmf = if h <= i32::MAX as u64 {
-        (1.0 - 1.0 / k as f64).powi(h as i32)
-    } else {
-        0.0
-    };
+    // Seeded through the log for the same h·ε-error reason as
+    // [`scatter_class`]; [`park_level`] bounds the walk even when the
+    // tail floor sits above the exhaustion cutoff.
+    let mut ln_pmf = h as f64 * (-1.0 / k as f64).ln_1p();
+    let mut pmf = ln_pmf.exp();
     let mut log_mode = pmf < 1e-290;
-    let mut ln_pmf = if log_mode {
-        h as f64 * (-1.0 / k as f64).ln_1p()
-    } else {
-        0.0
-    };
-    if log_mode {
-        pmf = ln_pmf.exp();
-    }
     let mut tail = 1.0f64;
+    let j_park = park_level(k, h);
     while c_rem > 0 {
         let j = cells.len() as u64;
-        if j >= h || tail < 1e-12 {
+        if j >= j_park || tail < 1e-12 {
             cells.push(c_rem);
             break;
         }
@@ -1623,12 +1659,107 @@ pub fn materialize(hist: &OccupancyHistogram, perm: &[u32]) -> Vec<u32> {
     loads
 }
 
+/// Block size of the sharded reconstruction: compositions are drawn per
+/// block of this many bins, shuffled independently.
+const SHARD_BLOCK: u64 = 1024;
+
+/// Below this many bins the sharded reconstruction's thread-scope setup
+/// costs more than it saves; [`crate::loads::Loads`] materializes
+/// inline with [`OccupancyHistogram::shuffled_loads`] below it.
+pub const SHARD_MIN_BINS: u64 = 1 << 21;
+
+/// The blocked uniform load assignment of
+/// [`OccupancyHistogram::shuffled_loads`], with the per-block
+/// fill-and-shuffle work sharded over scoped OS threads. Fully
+/// deterministic in the caller's seed and **independent of the thread
+/// count**: the block compositions are drawn sequentially from the
+/// caller's stream (one conditional [`hypergeometric`] per class per
+/// block), the caller's stream then contributes one base seed, and
+/// every block shuffles with its own child rng
+/// (`SeedSequence(base).child(block)`) — the same seed discipline that
+/// makes replicated runs scheduling-independent.
+pub fn sharded_shuffled_loads<R: Rng64 + ?Sized>(
+    hist: &OccupancyHistogram,
+    rng: &mut R,
+) -> Vec<u32> {
+    let n = hist.n();
+    let mut classes: Vec<(u32, u64)> = hist.levels().collect();
+    if classes.len() == 1 {
+        return vec![classes[0].0; n as usize];
+    }
+    let k = classes.len();
+    let num_blocks = n.div_ceil(SHARD_BLOCK) as usize;
+    // Block compositions, block-major (`comps[b·k + i]` = bins of class
+    // `i` in block `b`), drawn sequentially through the shared
+    // [`block_composition`] chain — ~`k` draws per block, a fraction of
+    // a percent of the fill-and-shuffle work.
+    let mut comps: Vec<u32> = vec![0; num_blocks * k];
+    let mut remaining = n;
+    for b in 0..num_blocks {
+        let block = SHARD_BLOCK.min(remaining);
+        block_composition(&mut classes, remaining, block, rng, |i, _, t| {
+            // lint:allow(N1): t ≤ SHARD_BLOCK = 2¹⁰ fits u32 by construction
+            comps[b * k + i] = t as u32
+        });
+        remaining -= block;
+    }
+    let base = rng.next_u64();
+    let levels: Vec<u32> = hist.levels().map(|(l, _)| l).collect();
+
+    let mut loads = vec![0u32; n as usize];
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(num_blocks)
+        .max(1);
+    let blocks_per_thread = num_blocks.div_ceil(threads);
+    let chunk_len = blocks_per_thread * SHARD_BLOCK as usize;
+    let fill_chunk = |t: usize, chunk: &mut [u32]| {
+        let shuffler = BlockShuffler::new(SHARD_BLOCK as usize);
+        let first_block = t * blocks_per_thread;
+        for (bi, block) in chunk.chunks_mut(SHARD_BLOCK as usize).enumerate() {
+            let b = first_block + bi;
+            // Stream the block's composition runs through the fused
+            // inside-out arrangement, on the block's own child stream.
+            let mut stream = comps[b * k..(b + 1) * k]
+                .iter()
+                .zip(levels.iter())
+                .flat_map(|(&t, &l)| std::iter::repeat_n(l, t as usize));
+            let mut brng = SeedSequence::new(base).child(b as u64).rng();
+            shuffler.arrange(
+                block,
+                || stream.next().expect("run stream exhausted early"),
+                &mut brng,
+            );
+        }
+    };
+    if threads == 1 {
+        // Single worker: run inline, no scope overhead. Identical
+        // output — block streams never depend on the thread layout.
+        fill_chunk(0, &mut loads);
+    } else {
+        std::thread::scope(|scope| {
+            for (t, chunk) in loads.chunks_mut(chunk_len).enumerate() {
+                let fill_chunk = &fill_chunk;
+                scope.spawn(move || fill_chunk(t, chunk));
+            }
+        });
+    }
+    loads
+}
+
 /// Runs a whole allocation under [`Engine::Histogram`]: walks the
 /// schedule's constant-rule segments and places each with the batched
-/// class machinery. Bin identities are synthetic — one uniform seeded
-/// permutation, drawn up front, maps sorted loads to indices for stage
-/// traces and the final outcome alike (the per-bin marginal law is
-/// exact because the faithful process is exchangeable).
+/// class machinery. Bin identities are synthetic — and stay *virtual*
+/// on the no-observer path: the outcome carries the histogram plus one
+/// reconstruction seed ([`crate::loads::Loads::from_histogram`]), so no
+/// `O(n)` pass runs unless a caller later asks for per-bin loads.
+/// Drivers with a stage-trace observer instead draw one uniform seeded
+/// permutation up front (derived from the same seed) and materialize
+/// through it at every stage end and for the final outcome, keeping the
+/// synthetic bin identities consistent across the trace. The per-bin
+/// marginal law is exact either way because the faithful process is
+/// exchangeable.
 ///
 /// [`Engine::Histogram`]: crate::protocol::Engine::Histogram
 pub fn drive_histogram<S, R, O>(
@@ -1645,10 +1776,15 @@ where
 {
     let n64 = cfg.n as u64;
     let mut hist = OccupancyHistogram::new(cfg.n);
-    let perm = random_permutation(cfg.n, rng);
+    // One seed draw where the eager engine drew its whole permutation:
+    // the placement stream below is identical whether or not a trace
+    // consumer is attached, and reconstruction is a pure function of
+    // this seed no matter when (or whether) it happens.
+    let recon_seed = rng.next_u64();
+    let want_stages = obs.wants_stage_ends();
+    let perm = want_stages.then(|| random_permutation(cfg.n, &mut SplitMix64::new(recon_seed)));
     let mut total_samples = 0u64;
     let mut max_samples = 0u64;
-    let want_stages = obs.wants_stage_ends();
     let mut scratch: Vec<(u32, u64)> = Vec::new();
     let mut hit_scratch: Vec<u64> = Vec::new();
     let mut ball = 1u64;
@@ -1668,21 +1804,31 @@ where
         };
         total_samples += stats.samples;
         max_samples = max_samples.max(stats.max_samples_per_ball);
-        if want_stages && end.is_multiple_of(n64) {
-            obs.on_stage_end(end / n64, &materialize(&hist, &perm), end);
+        if let Some(perm) = perm.as_deref() {
+            if end.is_multiple_of(n64) {
+                obs.on_stage_end(end / n64, &materialize(&hist, perm), end);
+            }
         }
         ball = end + 1;
     }
-    if want_stages && cfg.m > 0 && !cfg.m.is_multiple_of(n64) {
-        obs.on_stage_end(cfg.m / n64 + 1, &materialize(&hist, &perm), cfg.m);
+    if cfg.m > 0 && !cfg.m.is_multiple_of(n64) {
+        if let Some(perm) = perm.as_deref() {
+            obs.on_stage_end(cfg.m / n64 + 1, &materialize(&hist, perm), cfg.m);
+        }
     }
+    let loads = match perm.as_deref() {
+        // Trace runs materialize through the permutation so the final
+        // loads agree with the last trace frame.
+        Some(perm) => crate::loads::Loads::from_vec(materialize(&hist, perm)),
+        None => crate::loads::Loads::from_histogram(hist, recon_seed),
+    };
     Outcome {
         protocol: name,
         n: cfg.n,
         m: cfg.m,
         total_samples,
         max_samples_per_ball: max_samples,
-        loads: materialize(&hist, &perm),
+        loads,
         scenario: Scenario::default(),
     }
 }
@@ -1909,5 +2055,36 @@ mod tests {
         }
         assert_eq!(split_binomial(10, 0.0, &mut rng), 0);
         assert_eq!(split_binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn hazard_walks_stay_bounded_at_giant_scale() {
+        // Regression: at k = h = 2²⁷ the powi-seeded pmf left the walked
+        // tail floored above the 1e-12 exhaustion cutoff, and straggler
+        // bins rode the walk to j = h — 2²⁷ + 1 cells and a ~3h drift
+        // for the repair loop to crawl (minutes per round). The log
+        // seed plus the `park_level` bound keep every walk O(λ + √λ).
+        let mut cells = Vec::new();
+        for seed in 0..20u64 {
+            let mut rng = SplitMix64::new(seed);
+            occupancy_profile(1 << 27, 1 << 27, &mut cells, &mut rng);
+            assert!(
+                cells.len() as u64 <= park_level(1 << 27, 1 << 27) + 1,
+                "seed {seed}: walk produced {} cells",
+                cells.len()
+            );
+            assert_eq!(cells.iter().sum::<u64>(), 1 << 27);
+            let consumed: u64 = cells.iter().enumerate().map(|(j, &c)| j as u64 * c).sum();
+            assert_eq!(consumed, 1 << 27);
+        }
+        // The capped scatter path at the same scale: one class, all of
+        // stage 3's intake, threshold 4 — the exact shape that stalled.
+        let mut hist = OccupancyHistogram::new(1 << 27);
+        let mut rng = SplitMix64::new(7);
+        let n = 1u64 << 27;
+        let stats = place_histogram_below(&mut hist, Some(2), n, &mut rng);
+        hist.check_invariants();
+        assert_eq!(total_balls(&hist), n);
+        assert!(stats.samples >= n);
     }
 }

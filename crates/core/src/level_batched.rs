@@ -300,7 +300,7 @@ where
         m: cfg.m,
         total_samples,
         max_samples_per_ball: max_samples,
-        loads: bins.to_load_vector().into_loads(),
+        loads: bins.to_load_vector().into_loads().into(),
         scenario: Scenario::default(),
     }
 }

@@ -58,6 +58,7 @@ pub mod bins;
 pub mod choices;
 pub mod histogram;
 pub mod level_batched;
+pub mod loads;
 pub mod partitioned;
 pub mod poissonized;
 pub mod potential;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::bins::LoadVector;
     pub use crate::histogram::{HistogramSchedule, OccupancyHistogram};
     pub use crate::level_batched::ThresholdSchedule;
+    pub use crate::loads::Loads;
     pub use crate::partitioned::PartitionedBins;
     pub use crate::potential::{exponential_potential, gap, quadratic_potential};
     pub use crate::protocol::{

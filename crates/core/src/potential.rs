@@ -72,6 +72,51 @@ pub fn ln_exponential_potential(loads: &[u32], t: u64, eps: f64) -> f64 {
     max_e + sum.ln()
 }
 
+/// [`quadratic_potential`] over occupancy classes: `levels` yields
+/// `(load, count)` pairs (as [`OccupancyHistogram::levels`] does), `n`
+/// is the number of bins, `t` the number of balls placed. Cost is
+/// `O(#distinct loads)` — the histogram-first outcome path.
+///
+/// [`OccupancyHistogram::levels`]: crate::histogram::OccupancyHistogram::levels
+pub fn quadratic_potential_classes<I>(levels: I, n: u64, t: u64) -> f64
+where
+    I: IntoIterator<Item = (u32, u64)>,
+{
+    assert!(n > 0, "quadratic_potential: empty load vector");
+    let avg = t as f64 / n as f64;
+    levels
+        .into_iter()
+        .map(|(l, c)| {
+            let d = l as f64 - avg;
+            c as f64 * d * d
+        })
+        .sum()
+}
+
+/// [`ln_exponential_potential`] over occupancy classes — the same
+/// log-sum-exp, with each class contributing `count` copies of its
+/// exponent. Two passes over the `O(#distinct loads)` classes.
+pub fn ln_exponential_potential_classes<I>(levels: I, n: u64, t: u64, eps: f64) -> f64
+where
+    I: IntoIterator<Item = (u32, u64)>,
+    I::IntoIter: Clone,
+{
+    assert!(n > 0, "exponential_potential: empty load vector");
+    assert!(eps > 0.0, "exponential_potential: ε must be positive");
+    let avg = t as f64 / n as f64;
+    let ln_base = (1.0 + eps).ln();
+    let iter = levels.into_iter();
+    // Exponents e_ℓ = (t/n + 2 − ℓ)·ln(1+ε), weighted by class counts.
+    let max_e = iter
+        .clone()
+        .map(|(l, _)| (avg + 2.0 - l as f64) * ln_base)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = iter
+        .map(|(l, c)| c as f64 * ((avg + 2.0 - l as f64) * ln_base - max_e).exp())
+        .sum();
+    max_e + sum.ln()
+}
+
 /// Max−min load gap.
 pub fn gap(loads: &[u32]) -> u32 {
     assert!(!loads.is_empty(), "gap: empty load vector");
@@ -161,6 +206,29 @@ mod tests {
         let v = ln_exponential_potential(&loads, 4_000_000 - 1_000_000, EPSILON);
         assert!(v.is_finite());
         assert!(exponential_potential(&loads, 3_000_000, EPSILON).is_infinite());
+    }
+
+    #[test]
+    fn class_potentials_match_dense() {
+        // The O(#distinct) class forms must agree exactly with the
+        // dense forms on the same multiset.
+        let loads = [0u32, 1, 1, 3, 3, 3, 7];
+        let classes = [(0u32, 1u64), (1, 2), (3, 3), (7, 1)];
+        let n = loads.len() as u64;
+        let t = 18u64;
+        let dense_psi = quadratic_potential(&loads, t);
+        let class_psi = quadratic_potential_classes(classes.iter().copied(), n, t);
+        assert!((dense_psi - class_psi).abs() < 1e-12 * dense_psi.max(1.0));
+        let dense = ln_exponential_potential(&loads, t, EPSILON);
+        let class = ln_exponential_potential_classes(classes.iter().copied(), n, t, EPSILON);
+        assert!((dense - class).abs() < 1e-12 * dense.abs().max(1.0));
+    }
+
+    #[test]
+    fn class_ln_phi_survives_huge_holes() {
+        let classes = [(0u32, 1u64), (1_000_000, 3)];
+        let v = ln_exponential_potential_classes(classes.iter().copied(), 4, 3_000_000, EPSILON);
+        assert!(v.is_finite() && v > 0.0);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! observers, and the [`Protocol`] trait every allocation scheme
 //! implements.
 
+use crate::loads::Loads;
 use crate::partitioned::PartitionedBins;
 use crate::potential::{
-    exponential_potential, gap, ln_exponential_potential, quadratic_potential, EPSILON,
+    gap, ln_exponential_potential, ln_exponential_potential_classes, quadratic_potential,
+    quadratic_potential_classes, EPSILON,
 };
 use crate::scenario::Scenario;
 use bib_rng::Rng64;
@@ -29,8 +31,11 @@ use bib_rng::Rng64;
 /// `Histogram` collapses the bin dimension entirely (see
 /// [`crate::histogram`]): state is the occupancy histogram
 /// `counts[ℓ] = #bins with load ℓ`, rounds advance with binomial splits
-/// over occupancy *classes* instead of bins, and a concrete load vector
-/// is reconstructed only at the end through a seeded random assignment.
+/// over occupancy *classes* instead of bins, and the outcome stays
+/// **histogram-first**: without a stage-trace observer no concrete load
+/// vector is ever built — the [`Outcome`] carries the histogram plus a
+/// reconstruction seed ([`crate::loads::Loads`]) and a dense vector is
+/// assigned lazily (seeded, cached) only if per-bin loads are demanded.
 /// Unlike the other engines it also accelerates the fixed-sample
 /// baselines `one-choice` and `greedy[d]` (their landing laws are
 /// functions of the histogram CDF) and — as the *round-occupancy*
@@ -338,8 +343,14 @@ pub struct Outcome {
     pub total_samples: u64,
     /// The largest number of samples any single ball needed.
     pub max_samples_per_ball: u64,
-    /// Final loads.
-    pub loads: Vec<u32>,
+    /// Final loads — histogram-first and lazy (see [`Loads`]). Engine
+    /// runs without a trace observer carry only the occupancy histogram
+    /// plus a reconstruction seed; the dense per-bin vector is built
+    /// (then cached) on first per-bin access — slicing, indexing, or
+    /// iterating. Every statistic on this record reads the histogram
+    /// view in `O(#distinct loads)`, so a no-observer run never pays
+    /// the `O(n)` materialization.
+    pub loads: Loads,
     /// Scenario annotations: weights for heterogeneous runs, rounds and
     /// messages for parallel runs, the batch for stale-count runs. The
     /// default is the paper's base model (uniform, sequential, online).
@@ -348,24 +359,33 @@ pub struct Outcome {
 
 impl Outcome {
     /// Total balls accounted for in `loads` (must equal `m`; checked by
-    /// [`Outcome::validate`]).
+    /// [`Outcome::validate`]). `O(#distinct loads)` over the histogram.
     pub fn total_balls(&self) -> u64 {
-        self.loads.iter().map(|&l| l as u64).sum()
+        if self.loads.is_empty() {
+            return 0;
+        }
+        self.loads.histogram().total_balls()
     }
 
     /// Maximum final load.
     pub fn max_load(&self) -> u32 {
-        self.loads.iter().copied().max().unwrap_or(0)
+        if self.loads.is_empty() {
+            return 0;
+        }
+        self.loads.histogram().max_load()
     }
 
     /// Minimum final load.
     pub fn min_load(&self) -> u32 {
-        self.loads.iter().copied().min().unwrap_or(0)
+        if self.loads.is_empty() {
+            return 0;
+        }
+        self.loads.histogram().min_load()
     }
 
     /// Max−min gap.
     pub fn gap(&self) -> u32 {
-        gap(&self.loads)
+        self.max_load() - self.min_load()
     }
 
     /// Allocation time divided by `m` — converges to 1 for `threshold`
@@ -385,19 +405,26 @@ impl Outcome {
         self.total_samples.saturating_sub(self.m)
     }
 
-    /// Final quadratic potential `Ψ_m` (Figure 3(b)).
+    /// Final quadratic potential `Ψ_m` (Figure 3(b)) —
+    /// `O(#distinct loads)` over the histogram.
     pub fn psi(&self) -> f64 {
-        quadratic_potential(&self.loads, self.m)
+        quadratic_potential_classes(self.loads.histogram().levels(), self.n as u64, self.m)
     }
 
     /// Final exponential potential `Φ_m` at the paper's ε = 1/200.
     pub fn phi(&self) -> f64 {
-        exponential_potential(&self.loads, self.m, EPSILON)
+        self.ln_phi().exp()
     }
 
-    /// `ln Φ_m`, safe for the deep-hole regime of Lemma 4.2.
+    /// `ln Φ_m`, safe for the deep-hole regime of Lemma 4.2 —
+    /// `O(#distinct loads)` log-sum-exp over the histogram classes.
     pub fn ln_phi(&self) -> f64 {
-        ln_exponential_potential(&self.loads, self.m, EPSILON)
+        ln_exponential_potential_classes(
+            self.loads.histogram().levels(),
+            self.n as u64,
+            self.m,
+            EPSILON,
+        )
     }
 
     /// Bin `j`'s fair share of the `m` balls: `m·w_j/W` for weighted
@@ -414,7 +441,9 @@ impl Outcome {
 
     /// Per-bin overload `load_j − fair_share(j)` (positive = above fair
     /// share). The weighted max-load guarantee bounds this by ≤ 2
-    /// (⌈·⌉ rounding plus the +1 slack).
+    /// (⌈·⌉ rounding plus the +1 slack). Inherently per-bin, so this
+    /// materializes the loads; prefer [`Outcome::max_overload`] /
+    /// [`Outcome::weighted_psi`] when only the aggregate is wanted.
     pub fn overloads(&self) -> Vec<f64> {
         // One pass over the weights for the total, not one per bin.
         if self.scenario.weights.is_empty() {
@@ -429,17 +458,45 @@ impl Outcome {
             .collect()
     }
 
-    /// The largest per-bin overload.
+    /// The largest per-bin overload. Uniform runs read it off the
+    /// histogram (`max_load − m/n`, `O(#distinct loads)`, no
+    /// materialization); weighted runs take one allocation-free pass
+    /// over the bins.
     pub fn max_overload(&self) -> f64 {
-        self.overloads()
-            .into_iter()
+        if self.scenario.weights.is_empty() {
+            if self.loads.is_empty() {
+                return f64::NEG_INFINITY;
+            }
+            return self.max_load() as f64 - self.m as f64 / self.n as f64;
+        }
+        let w_total: f64 = self.scenario.weights.iter().sum();
+        self.loads
+            .iter()
+            .zip(&self.scenario.weights)
+            .map(|(&l, &w)| l as f64 - self.m as f64 * w / w_total)
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Weighted quadratic potential `Σ_j (load_j − fair_share_j)²`
-    /// (degenerates to Ψ up to the `m/n` centring for uniform runs).
+    /// (degenerates to Ψ up to the `m/n` centring for uniform runs —
+    /// where it is computed over the histogram classes); weighted runs
+    /// take one allocation-free pass over the bins.
     pub fn weighted_psi(&self) -> f64 {
-        self.overloads().iter().map(|d| d * d).sum()
+        if self.scenario.weights.is_empty() {
+            if self.loads.is_empty() {
+                return 0.0;
+            }
+            return self.psi();
+        }
+        let w_total: f64 = self.scenario.weights.iter().sum();
+        self.loads
+            .iter()
+            .zip(&self.scenario.weights)
+            .map(|(&l, &w)| {
+                let d = l as f64 - self.m as f64 * w / w_total;
+                d * d
+            })
+            .sum()
     }
 
     /// Synchronous rounds used (0 for sequential protocols).
@@ -467,7 +524,10 @@ impl Outcome {
     /// count is at least `m` (every ball needs ≥ 1 sample), and that the
     /// scenario annotations are coherent (weights match the bin count
     /// and contain no NaN/negative entry; zero weights are legal and
-    /// divide nothing).
+    /// divide nothing). Runs on every [`crate::run::run_protocol`] call,
+    /// so the uniform checks read only the histogram — a lazy outcome
+    /// stays lazy through validation (the weighted per-bin check touches
+    /// loads, but the weighted family is dense-born).
     pub fn validate(&self) {
         assert_eq!(self.loads.len(), self.n, "loads/n mismatch");
         assert_eq!(self.total_balls(), self.m, "mass not conserved");
@@ -631,7 +691,7 @@ where
         m: cfg.m,
         total_samples,
         max_samples_per_ball: max_samples,
-        loads: bins.to_load_vector().into_loads(),
+        loads: bins.to_load_vector().into_loads().into(),
         scenario: Scenario::default(),
     }
 }
@@ -746,7 +806,7 @@ mod tests {
             m: 8,
             total_samples: 10,
             max_samples_per_ball: 3,
-            loads: vec![2, 2, 3, 1],
+            loads: vec![2, 2, 3, 1].into(),
             scenario: Scenario::default(),
         };
         out.validate();
@@ -769,7 +829,7 @@ mod tests {
             m: 5,
             total_samples: 5,
             max_samples_per_ball: 1,
-            loads: vec![1, 1],
+            loads: vec![1, 1].into(),
             scenario: Scenario::default(),
         }
         .validate();

@@ -585,7 +585,13 @@ where
         m,
         total_samples,
         max_samples_per_ball: max_samples,
-        loads: materialize_all(&hists),
+        // Weighted outcomes are dense-born: per-bin weights pin bin
+        // identities (only *within* a weight class are bins
+        // exchangeable), so the global lazy-histogram reconstruction
+        // does not apply — see the lazy-outcome contract on
+        // [`crate::loads::Loads`]. Histogram-view statistics still run
+        // in O(#distinct loads) off the cached derived histogram.
+        loads: materialize_all(&hists).into(),
         scenario: Scenario::weighted(weights.to_vec()),
     }
 }

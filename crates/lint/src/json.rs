@@ -217,6 +217,7 @@ const ROW_NUMBERS: &[&str] = &[
     "samples_per_ball",
     "mballs_per_sec",
 ];
+const ROW_BOOLS: &[&str] = &["loads_materialized"];
 const SCENARIOS: &[&str] = &["uniform", "weighted", "parallel"];
 const ENGINES: &[&str] = &["faithful", "jump", "level-batched", "histogram", "auto"];
 
@@ -235,12 +236,15 @@ pub fn check_bench(text: &str) -> Vec<String> {
         )];
     };
     match top.get("schema") {
-        Some(Value::Str(s)) if s == "bib-bench/engines/v3" => {}
+        Some(Value::Str(s)) if s == "bib-bench/engines/v4" => {}
         Some(Value::Str(s)) => {
-            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v3`"))
+            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v4`"))
         }
         _ => errs.push("missing string field `schema`".to_string()),
     }
+    // Full (non-smoke) documents must carry a giant-n histogram-only
+    // row: the lazy-outcome regime the engines are meant to reach.
+    let smoke = matches!(top.get("smoke"), Some(Value::Bool(true)));
     if !matches!(top.get("seed"), Some(Value::Num(s)) if s.fract() == 0.0) {
         errs.push("missing integer field `seed`".to_string());
     }
@@ -266,6 +270,7 @@ pub fn check_bench(text: &str) -> Vec<String> {
         }
     };
     let mut has_parallel_histogram = false;
+    let mut has_giant_lazy_row = false;
     for (i, row) in rows.iter().enumerate() {
         let Value::Obj(row) = row else {
             errs.push(format!(
@@ -287,6 +292,18 @@ pub fn check_bench(text: &str) -> Vec<String> {
                     "results[{i}].{key} = {v} is not a finite non-negative number"
                 )),
                 _ => errs.push(format!("results[{i}] missing number `{key}`")),
+            }
+        }
+        for key in ROW_BOOLS {
+            if !matches!(row.get(*key), Some(Value::Bool(_))) {
+                errs.push(format!("results[{i}] missing bool `{key}`"));
+            }
+        }
+        if let (Some(Value::Num(n)), Some(Value::Bool(false))) =
+            (row.get("n"), row.get("loads_materialized"))
+        {
+            if *n >= 1e9 {
+                has_giant_lazy_row = true;
             }
         }
         if let (Some(Value::Str(scenario)), Some(Value::Str(engine))) =
@@ -317,6 +334,13 @@ pub fn check_bench(text: &str) -> Vec<String> {
     if !has_parallel_histogram {
         errs.push(
             "no parallel-scenario histogram-engine row (round-occupancy rows missing)".to_string(),
+        );
+    }
+    if !smoke && !has_giant_lazy_row {
+        errs.push(
+            "full run has no n >= 10^9 row with loads_materialized = false \
+             (giant-n lazy-outcome rows missing)"
+                .to_string(),
         );
     }
     errs
@@ -395,14 +419,14 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-  "schema": "bib-bench/engines/v3",
+  "schema": "bib-bench/engines/v4",
   "seed": 2013,
   "smoke": true,
   "host": {"threads": 1, "rustc": "rustc"},
   "results": [
     {"protocol": "collision(c=1)", "scenario": "parallel", "engine": "histogram",
      "n": 4096, "m": 4096, "reps": 3, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
-     "samples_per_ball": 3.0, "mballs_per_sec": 10.0}
+     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": false}
   ]
 }"#
         .to_string()
@@ -414,9 +438,34 @@ mod tests {
     }
 
     #[test]
+    fn full_runs_require_a_giant_lazy_row() {
+        // A smoke doc passes without the n >= 10^9 row; flipping the
+        // `smoke` flag alone must trip the gate …
+        let full = valid_doc().replace("\"smoke\": true", "\"smoke\": false");
+        assert!(check_bench(&full)
+            .iter()
+            .any(|e| e.contains("giant-n lazy-outcome rows missing")));
+        // … and a lazy 10^9 row satisfies it; a materialized one does not.
+        let with_giant = full.replace("\"n\": 4096,", "\"n\": 1000000000,");
+        assert_eq!(check_bench(&with_giant), Vec::<String>::new());
+        let materialized = with_giant.replace(
+            "\"loads_materialized\": false",
+            "\"loads_materialized\": true",
+        );
+        assert!(check_bench(&materialized)
+            .iter()
+            .any(|e| e.contains("giant-n lazy-outcome rows missing")));
+    }
+
+    #[test]
     fn bench_doc_catches_schema_and_row_defects() {
-        let bad_schema = valid_doc().replace("engines/v3", "engines/v2");
-        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v3`"));
+        let bad_schema = valid_doc().replace("engines/v4", "engines/v3");
+        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v4`"));
+
+        let missing_bool = valid_doc().replace(", \"loads_materialized\": false", "");
+        assert!(check_bench(&missing_bool)
+            .iter()
+            .any(|e| e.contains("missing bool `loads_materialized`")));
 
         let bad_engine = valid_doc().replace("\"histogram\"", "\"warp-drive\"");
         let errs = check_bench(&bad_engine);

@@ -187,7 +187,7 @@ impl BoundedLoad {
             m,
             total_samples: messages,
             max_samples_per_ball: max_contacts,
-            loads,
+            loads: loads.into(),
             scenario: Scenario::rounds(rounds, messages),
         }
     }

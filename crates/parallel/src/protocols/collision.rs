@@ -192,7 +192,7 @@ impl Collision {
             // bin once in every round (exact — some ball survives to
             // the last placing round).
             max_samples_per_ball: if m > 0 { rounds as u64 } else { 0 },
-            loads,
+            loads: loads.into(),
             scenario: Scenario::rounds(rounds, messages),
         }
     }

@@ -100,7 +100,7 @@ mod tests {
             m: 3,
             total_samples: 9,
             max_samples_per_ball: 3,
-            loads: vec![2, 1],
+            loads: vec![2, 1].into(),
             scenario: Scenario::rounds(2, 9),
         };
         o.validate();
@@ -132,7 +132,7 @@ mod tests {
             m: 5,
             total_samples: 5,
             max_samples_per_ball: 1,
-            loads: vec![1, 1],
+            loads: vec![1, 1].into(),
             scenario: Scenario::rounds(1, 5),
         }
         .validate();

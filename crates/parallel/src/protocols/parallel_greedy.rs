@@ -196,7 +196,7 @@ impl ParallelGreedy {
             // The worst-off ball sent one request per round it survived;
             // some ball survives to the last used round.
             max_samples_per_ball: if m > 0 { rounds_used as u64 } else { 0 },
-            loads,
+            loads: loads.into(),
             scenario: Scenario::rounds(rounds_used, messages),
         }
     }

@@ -12,18 +12,20 @@
 //! occupancy classes. Both are drawn in `O(max multiplicity + #classes)`
 //! with the primitives `bib-core::histogram` exposes
 //! ([`occupancy_profile`], [`hypergeometric`], [`distinct_hit_count`]):
-//! per-round cost becomes independent of `n` and of the contact count,
-//! and the only `O(n)` work left is the final identity reconstruction
-//! ([`OccupancyHistogram::shuffled_loads`]).
+//! per-round cost becomes independent of `n` and of the contact count.
+//! On the no-observer path even the final identity reconstruction is
+//! *skipped*: the outcome is a lazy [`bib_core::loads::Loads`] carrying
+//! the histogram plus a reconstruction seed, so no `O(n)` pass runs
+//! unless a caller later demands per-bin loads.
 //!
 //! What each protocol's engine preserves is documented on its
 //! `allocate`; the shared contract: *rounds* and *messages* are
 //! accumulated by the same counting rules as the faithful path, final
-//! loads are reconstructed through a uniform random assignment (the
-//! faithful law is exchangeable over bin identities), stage traces fire
-//! once per round through one up-front permutation, and
-//! `Observer::on_ball` never fires (it never fires for round protocols
-//! anyway — balls act simultaneously).
+//! loads — if demanded — are reconstructed through a uniform random
+//! assignment (the faithful law is exchangeable over bin identities),
+//! stage traces fire once per round through one up-front permutation,
+//! and `Observer::on_ball` never fires (it never fires for round
+//! protocols anyway — balls act simultaneously).
 //!
 //! # Engine resolution
 //!
@@ -42,28 +44,16 @@
 //! [`OccupancyHistogram::shuffled_loads`]: bib_core::histogram::OccupancyHistogram::shuffled_loads
 //! [`Engine::auto_parallel`]: bib_core::protocol::Engine::auto_parallel
 
-use bib_core::histogram::{
-    block_composition, materialize, random_permutation, BlockShuffler, OccupancyHistogram,
-};
+use bib_core::histogram::{block_composition, materialize, random_permutation, OccupancyHistogram};
+use bib_core::loads::Loads;
 use bib_core::protocol::{Engine, Observer};
-use bib_rng::{Rng64, RngExt, SeedSequence};
+use bib_rng::{Rng64, RngExt};
 
 /// Groups of at most this many bins are assigned to their occupancy
 /// classes one exact uniform pick at a time; larger groups run the
 /// hypergeometric chain (mirrors the sequential engine's
 /// `PER_HIT_SPLIT`).
 const EXACT_GROUP: u64 = 8;
-
-/// Block size of the sharded load reconstruction (fits L1 alongside the
-/// shuffler's rejection table).
-const SHARD_BLOCK: u64 = 1024;
-
-/// Below this many bins the final reconstruction runs inline on the
-/// caller's thread ([`OccupancyHistogram::shuffled_loads`]); above it
-/// the blocks are sharded over scoped threads — at `m = n` the `O(n)`
-/// output pass is the engine's whole residual cost, so it is the one
-/// piece worth threading.
-const SHARD_MIN_BINS: u64 = 1 << 21;
 
 /// Resolves the engine request for a round protocol: the family's fixed
 /// two-path rule (see the module docs). Never returns `Auto`, `Jump` or
@@ -201,97 +191,22 @@ impl RoundTrace {
         }
     }
 
-    /// Final load vector: through the trace permutation when one exists
-    /// (so the last trace frame and the outcome agree), else the
-    /// uniform random assignment — sharded over scoped threads for
-    /// large `n`, inline otherwise.
+    /// Final loads: through the trace permutation when one exists (so
+    /// the last trace frame and the outcome agree — dense-born), else a
+    /// *virtual* [`Loads`]: the histogram plus one reconstruction seed,
+    /// deferring the `O(n)` assignment (sharded over threads at large
+    /// `n`, see [`bib_core::histogram::sharded_shuffled_loads`]) until
+    /// someone actually asks for per-bin loads.
     pub(crate) fn finish<R: Rng64 + ?Sized>(
         &self,
         hist: &OccupancyHistogram,
         rng: &mut R,
-    ) -> Vec<u32> {
+    ) -> Loads {
         match &self.perm {
-            Some(perm) => materialize(hist, perm),
-            None if hist.n() >= SHARD_MIN_BINS => sharded_shuffled_loads(hist, rng),
-            None => hist.shuffled_loads(rng),
+            Some(perm) => Loads::from_vec(materialize(hist, perm)),
+            None => Loads::from_histogram(hist.clone(), rng.next_u64()),
         }
     }
-}
-
-/// The blocked uniform load assignment of
-/// [`OccupancyHistogram::shuffled_loads`], with the per-block
-/// fill-and-shuffle work sharded over scoped OS threads. Fully
-/// deterministic in the caller's seed and **independent of the thread
-/// count**: the block compositions are drawn sequentially from the
-/// caller's stream (one conditional [`hypergeometric`] per class per
-/// block), the caller's stream then contributes one base seed, and
-/// every block shuffles with its own child rng
-/// (`SeedSequence(base).child(block)`) — the same seed discipline that
-/// makes [`crate::replicate_outcomes`] scheduling-independent.
-pub(crate) fn sharded_shuffled_loads<R: Rng64 + ?Sized>(
-    hist: &OccupancyHistogram,
-    rng: &mut R,
-) -> Vec<u32> {
-    let n = hist.n();
-    let mut classes: Vec<(u32, u64)> = hist.levels().collect();
-    if classes.len() == 1 {
-        return vec![classes[0].0; n as usize];
-    }
-    let k = classes.len();
-    let num_blocks = n.div_ceil(SHARD_BLOCK) as usize;
-    // Block compositions, block-major (`comps[b·k + i]` = bins of class
-    // `i` in block `b`), drawn sequentially through the shared
-    // [`block_composition`] chain — ~`k` draws per block, a fraction of
-    // a percent of the fill-and-shuffle work.
-    let mut comps: Vec<u32> = vec![0; num_blocks * k];
-    let mut remaining = n;
-    for b in 0..num_blocks {
-        let block = SHARD_BLOCK.min(remaining);
-        block_composition(&mut classes, remaining, block, rng, |i, _, t| {
-            // lint:allow(N1): t ≤ SHARD_BLOCK = 2²¹ fits u32 by construction
-            comps[b * k + i] = t as u32
-        });
-        remaining -= block;
-    }
-    let base = rng.next_u64();
-    let levels: Vec<u32> = hist.levels().map(|(l, _)| l).collect();
-
-    let mut loads = vec![0u32; n as usize];
-    let threads = crate::executor::available_threads().min(num_blocks).max(1);
-    let blocks_per_thread = num_blocks.div_ceil(threads);
-    let chunk_len = blocks_per_thread * SHARD_BLOCK as usize;
-    let fill_chunk = |t: usize, chunk: &mut [u32]| {
-        let shuffler = BlockShuffler::new(SHARD_BLOCK as usize);
-        let first_block = t * blocks_per_thread;
-        for (bi, block) in chunk.chunks_mut(SHARD_BLOCK as usize).enumerate() {
-            let b = first_block + bi;
-            // Stream the block's composition runs through the fused
-            // inside-out arrangement, on the block's own child stream.
-            let mut stream = comps[b * k..(b + 1) * k]
-                .iter()
-                .zip(levels.iter())
-                .flat_map(|(&t, &l)| std::iter::repeat_n(l, t as usize));
-            let mut brng = SeedSequence::new(base).child(b as u64).rng();
-            shuffler.arrange(
-                block,
-                || stream.next().expect("run stream exhausted early"),
-                &mut brng,
-            );
-        }
-    };
-    if threads == 1 {
-        // Single worker: run inline, no scope overhead. Identical
-        // output — block streams never depend on the thread layout.
-        fill_chunk(0, &mut loads);
-    } else {
-        std::thread::scope(|scope| {
-            for (t, chunk) in loads.chunks_mut(chunk_len).enumerate() {
-                let fill_chunk = &fill_chunk;
-                scope.spawn(move || fill_chunk(t, chunk));
-            }
-        });
-    }
-    loads
 }
 
 #[cfg(test)]

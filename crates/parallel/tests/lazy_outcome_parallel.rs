@@ -1,0 +1,102 @@
+//! The lazy-outcome contract for the parallel round family (see
+//! `bib_core::loads` and `bib_parallel::protocols::round_occupancy`):
+//! a no-observer `Engine::Histogram` run skips the final identity
+//! reconstruction entirely and returns a virtual load vector, while
+//! every histogram-expressible statistic still matches a dense
+//! recomputation once the vector is materialized.
+
+use bib_core::potential::{gap as dense_gap, quadratic_potential};
+use bib_core::prelude::*;
+use bib_core::run::run_protocol;
+use bib_parallel::protocols::{BoundedLoad, Collision, ParallelGreedy};
+
+fn round_protocols() -> Vec<(&'static str, Box<dyn DynProtocol + Send + Sync>)> {
+    vec![
+        ("collision[1]", Box::new(Collision::new(1))),
+        ("collision[2]", Box::new(Collision::new(2))),
+        ("bounded-load[2]", Box::new(BoundedLoad::new(2))),
+        ("parallel-greedy", Box::new(ParallelGreedy::new(2, 3, 1))),
+    ]
+}
+
+#[test]
+fn round_engine_runs_stay_virtual_through_every_statistic() {
+    for (n, m) in [(256usize, 256u64), (1024, 512)] {
+        let cfg = RunConfig::new(n, m).with_engine(Engine::Histogram);
+        for (tag, proto) in round_protocols() {
+            let out = run_protocol(proto.as_ref(), &cfg, 13);
+            assert!(
+                !out.loads.is_materialized(),
+                "{tag} n={n}: born materialized"
+            );
+            out.validate();
+            let _ = (
+                out.total_balls(),
+                out.max_load(),
+                out.min_load(),
+                out.gap(),
+                out.psi(),
+                out.ln_phi(),
+                out.rounds(),
+                out.messages(),
+            );
+            assert_eq!(out.loads.len(), n, "{tag}: len");
+            assert!(
+                !out.loads.is_materialized(),
+                "{tag} n={n}: a statistic materialized the loads"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_engine_statistics_match_dense_recomputation() {
+    let cfg = RunConfig::new(512, 400).with_engine(Engine::Histogram);
+    for (tag, proto) in round_protocols() {
+        let out = run_protocol(proto.as_ref(), &cfg, 29);
+        let gap = out.gap();
+        let psi = out.psi();
+        let dense = out.loads.to_vec();
+        assert!(out.loads.is_materialized(), "{tag}: to_vec materializes");
+        assert_eq!(
+            out.total_balls(),
+            dense.iter().map(|&l| l as u64).sum::<u64>(),
+            "{tag}: mass"
+        );
+        assert_eq!(gap, dense_gap(&dense), "{tag}: gap");
+        assert_eq!(
+            out.max_load(),
+            dense.iter().copied().max().unwrap(),
+            "{tag}: max"
+        );
+        let dense_psi = quadratic_potential(&dense, out.m);
+        assert!(
+            (psi - dense_psi).abs() <= 1e-9 * dense_psi.max(1.0),
+            "{tag}: psi {psi} vs dense {dense_psi}"
+        );
+    }
+}
+
+#[test]
+fn round_engine_materialization_is_deterministic() {
+    let cfg = RunConfig::new(2048, 2048).with_engine(Engine::Histogram);
+    for (tag, proto) in round_protocols() {
+        let a = run_protocol(proto.as_ref(), &cfg, 71);
+        let b = run_protocol(proto.as_ref(), &cfg, 71);
+        // Statistics first on one replicate, straight to dense on the
+        // other: materialization must not depend on observation order.
+        let _ = (a.gap(), a.psi(), a.max_overload());
+        assert_eq!(a.loads.to_vec(), b.loads.to_vec(), "{tag}");
+        assert_eq!(a.loads.as_slice(), a.loads.as_slice(), "{tag}: twice");
+    }
+}
+
+#[test]
+fn faithful_round_runs_stay_dense_born() {
+    let cfg = RunConfig::new(64, 64).with_engine(Engine::Faithful);
+    for (tag, proto) in round_protocols() {
+        let out = run_protocol(proto.as_ref(), &cfg, 5);
+        assert!(out.loads.is_materialized(), "{tag}: faithful is dense-born");
+        out.validate();
+    }
+}

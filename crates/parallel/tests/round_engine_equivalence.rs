@@ -286,7 +286,7 @@ fn gof_against_brute(n: usize, m: u32, c: u32, engine: Engine, reps: u64) {
     let proto = Collision::new(c);
     for rep in 0..reps {
         let out = run_protocol(&proto, &cfg, rep);
-        let mut loads = out.loads.clone();
+        let mut loads = out.loads.to_vec();
         loads.sort_unstable();
         match index.get(&(loads, out.rounds())) {
             Some(&i) => observed[i] += 1,
@@ -366,7 +366,7 @@ fn parallel_greedy_single_round_matches_enumeration() {
         for rep in 0..20_000u64 {
             let out = run_protocol(&proto, &cfg, rep);
             assert_eq!(out.rounds(), 1);
-            let mut loads = out.loads.clone();
+            let mut loads = out.loads.to_vec();
             loads.sort_unstable();
             let idx = match loads.as_slice() {
                 [1, 1, 1] => 0,
