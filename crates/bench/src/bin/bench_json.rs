@@ -8,7 +8,10 @@
 //! rounds vs the round-occupancy engine at `n = m = 10⁷`) — one row per
 //! cell, each tagged with its `scenario`
 //! (`uniform` | `weighted` | `parallel`), and writes a machine-readable
-//! JSON record (schema v4) so the perf trajectory is tracked in-repo.
+//! JSON record (schema v5) so the perf trajectory is tracked in-repo.
+//! The parallel family additionally runs the sharded concurrent
+//! single-run engine at 1, 2 and 8 worker threads (deterministic mode)
+//! — each row carries `threads`, the worker count *inside* the run.
 //! Each row carries `loads_materialized`: whether the outcome ever
 //! built its dense per-bin vector. Full (non-smoke) runs add the
 //! giant-n histogram-only rows — adaptive and collision at `n = 10⁸`
@@ -60,6 +63,8 @@ struct Cell {
     n: usize,
     m: u64,
     reps: u64,
+    /// Worker threads inside each run (1 for every serial engine).
+    threads: usize,
     wall_ms_mean: f64,
     wall_ms_best: f64,
     samples_per_ball: f64,
@@ -100,6 +105,7 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
         n: spec.cfg.n,
         m: spec.cfg.m,
         reps: spec.reps,
+        threads: spec.cfg.threads,
         wall_ms_mean,
         wall_ms_best,
         samples_per_ball: if spec.cfg.m == 0 {
@@ -272,6 +278,23 @@ fn main() {
                 name: None,
             });
         }
+        // The concurrent single-run engine (deterministic mode) at 1,
+        // 2 and 8 worker threads — the first multi-thread rows in the
+        // matrix. Deterministic mode is bit-identical across thread
+        // counts, so these rows isolate the scaling of one identical
+        // placement.
+        for threads in [1usize, 2, 8] {
+            let cfg = RunConfig::new(n_p, n_p as u64)
+                .with_engine(Engine::Concurrent)
+                .with_threads(threads);
+            specs.push(Spec {
+                proto: make(),
+                cfg,
+                reps: 3,
+                engine: Engine::Concurrent.name(),
+                name: None,
+            });
+        }
     }
 
     // Giant-n histogram-only rows: with the lazy outcome the engine's
@@ -312,7 +335,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v5\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -326,7 +349,7 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"engine\": \"{}\", \
-             \"n\": {}, \"m\": {}, \"reps\": {}, \"wall_ms_mean\": {:.3}, \
+             \"n\": {}, \"m\": {}, \"reps\": {}, \"threads\": {}, \"wall_ms_mean\": {:.3}, \
              \"wall_ms_best\": {:.3}, \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}, \
              \"loads_materialized\": {}}}",
             c.protocol,
@@ -335,6 +358,7 @@ fn main() {
             c.n,
             c.m,
             c.reps,
+            c.threads,
             c.wall_ms_mean,
             c.wall_ms_best,
             c.samples_per_ball,
@@ -354,12 +378,13 @@ fn main() {
         threads
     );
     println!(
-        "{:<20} {:<10} {:>14} {:>11} {:>13} {:>12} {:>12} {:>14} {:>12} {:>6}",
+        "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12} {:>12} {:>14} {:>12} {:>6}",
         "protocol",
         "scenario",
         "engine",
         "n",
         "m",
+        "thr",
         "wall_mean",
         "wall_best",
         "samples/ball",
@@ -368,12 +393,13 @@ fn main() {
     );
     for c in &cells {
         println!(
-            "{:<20} {:<10} {:>14} {:>11} {:>13} {:>12.3} {:>12.3} {:>14.4} {:>12.2} {:>6}",
+            "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12.3} {:>12.3} {:>14.4} {:>12.2} {:>6}",
             c.protocol,
             c.scenario,
             c.engine,
             c.n,
             c.m,
+            c.threads,
             c.wall_ms_mean,
             c.wall_ms_best,
             c.samples_per_ball,

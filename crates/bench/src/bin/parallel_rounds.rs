@@ -15,9 +15,16 @@
 //! or `auto` run the batched rounds, which makes the full sweep's
 //! largest sizes near-instant).
 //!
+//! With `--reps 1`, `--threads <n>` moves *inside* the run: the sweep
+//! routes into the sharded concurrent single-run engine
+//! (`--engine concurrent`, or `auto` promoted by the thread count),
+//! deterministic by default, contention-ordered with `--racy`. The
+//! header names the path taken.
+//!
 //! ```text
 //! cargo run --release -p bib-bench --bin parallel_rounds \
-//!     [-- --quick --csv --threads <n> --engine <faithful|histogram|auto>]
+//!     [-- --quick --csv --threads <n> --racy \
+//!      --engine <faithful|histogram|auto|concurrent>]
 //! ```
 
 use bib_bench::{f, ExpArgs, Table};
@@ -31,7 +38,8 @@ fn main() {
     let exps: Vec<u32> = args.pick(vec![8, 10, 12, 14, 16, 18, 20], vec![8, 10, 12]);
     let reps = args.reps_or(10, 3);
 
-    println!("# Parallel protocols at m = n; {reps} reps\n");
+    println!("# Parallel protocols at m = n; {reps} reps");
+    println!("{}\n", args.round_path_header(reps, Engine::Faithful));
     let mut table = Table::new(vec![
         "scenario",
         "n",
@@ -46,10 +54,9 @@ fn main() {
         "pg_r4_max",
     ]);
 
-    let engine = args.engine_or(Engine::Faithful);
     for &e in &exps {
         let n = 1usize << e;
-        let cfg = RunConfig::new(n, n as u64).with_engine(engine);
+        let cfg = args.round_run_config(n, n as u64, reps, Engine::Faithful);
         let spec = args.replicate_spec(reps);
         let bl = replicate_outcomes(&BoundedLoad::new(2), &cfg, &spec);
         let co = replicate_outcomes(&Collision::new(1), &cfg, &spec);

@@ -268,7 +268,7 @@ fn bench_json_smoke_writes_valid_json() {
     assert!(echo.contains("level-batched"));
     assert!(echo.contains("histogram"));
     let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
-    assert!(json.contains("\"schema\": \"bib-bench/engines/v4\""));
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v5\""));
     assert!(json.contains("\"host\""), "host metadata missing");
     assert!(json.contains("\"threads\""), "thread count missing");
     assert!(json.contains("\"rustc\""), "rustc version missing");
@@ -276,10 +276,11 @@ fn bench_json_smoke_writes_valid_json() {
     // fixed-sample block at the heavy size (2 protocols x 3 engines),
     // the weighted block (3 weight shapes x (3 adaptive engines + 1
     // one-choice row)) and the parallel-round block (3 protocols x
-    // {faithful, histogram, auto}).
-    assert_eq!(json.matches("\"protocol\"").count(), 57);
-    // Every row is tagged with its scenario and (schema v4) records
-    // whether it ever materialized the dense load vector.
+    // ({faithful, histogram, auto} + concurrent at 1/2/8 threads)).
+    assert_eq!(json.matches("\"protocol\"").count(), 66);
+    // Every row is tagged with its scenario, records (schema v4)
+    // whether it ever materialized the dense load vector, and carries
+    // (schema v5) its in-run worker-thread count.
     assert_eq!(
         json.matches("\"protocol\"").count(),
         json.matches("\"scenario\"").count(),
@@ -294,7 +295,23 @@ fn bench_json_smoke_writes_valid_json() {
         json.contains("\"loads_materialized\": false"),
         "histogram rows must stay lazy"
     );
-    for engine in ["faithful", "jump", "level-batched", "histogram", "auto"] {
+    assert_eq!(
+        json.matches("\"protocol\"").count(),
+        json.matches("\"threads\":").count() - 1, // host header has one too
+        "every row must carry its thread count"
+    );
+    assert!(
+        json.contains("\"threads\": 8"),
+        "the concurrent engine must contribute multi-thread rows"
+    );
+    for engine in [
+        "faithful",
+        "jump",
+        "level-batched",
+        "histogram",
+        "auto",
+        "concurrent",
+    ] {
         assert!(
             json.contains(&format!("\"engine\": \"{engine}\"")),
             "missing engine {engine}"

@@ -212,6 +212,7 @@ const ROW_NUMBERS: &[&str] = &[
     "n",
     "m",
     "reps",
+    "threads",
     "wall_ms_mean",
     "wall_ms_best",
     "samples_per_ball",
@@ -219,7 +220,14 @@ const ROW_NUMBERS: &[&str] = &[
 ];
 const ROW_BOOLS: &[&str] = &["loads_materialized"];
 const SCENARIOS: &[&str] = &["uniform", "weighted", "parallel"];
-const ENGINES: &[&str] = &["faithful", "jump", "level-batched", "histogram", "auto"];
+const ENGINES: &[&str] = &[
+    "faithful",
+    "jump",
+    "level-batched",
+    "histogram",
+    "concurrent",
+    "auto",
+];
 
 /// Validates a committed `BENCH_engines.json` document. Returns the
 /// list of problems (empty = valid).
@@ -236,9 +244,9 @@ pub fn check_bench(text: &str) -> Vec<String> {
         )];
     };
     match top.get("schema") {
-        Some(Value::Str(s)) if s == "bib-bench/engines/v4" => {}
+        Some(Value::Str(s)) if s == "bib-bench/engines/v5" => {}
         Some(Value::Str(s)) => {
-            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v4`"))
+            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v5`"))
         }
         _ => errs.push("missing string field `schema`".to_string()),
     }
@@ -271,6 +279,11 @@ pub fn check_bench(text: &str) -> Vec<String> {
     };
     let mut has_parallel_histogram = false;
     let mut has_giant_lazy_row = false;
+    // Per-protocol multi-thread coverage for the parallel scenario: a
+    // full document must show each round protocol on the concurrent
+    // engine at more than one thread.
+    let mut parallel_protocols = std::collections::BTreeSet::new();
+    let mut multithreaded_protocols = std::collections::BTreeSet::new();
     for (i, row) in rows.iter().enumerate() {
         let Value::Obj(row) = row else {
             errs.push(format!(
@@ -320,6 +333,14 @@ pub fn check_bench(text: &str) -> Vec<String> {
             if scenario == "parallel" && engine == "histogram" {
                 has_parallel_histogram = true;
             }
+            if scenario == "parallel" {
+                if let Some(Value::Str(protocol)) = row.get("protocol") {
+                    parallel_protocols.insert(protocol.clone());
+                    if matches!(row.get("threads"), Some(Value::Num(t)) if *t > 1.0) {
+                        multithreaded_protocols.insert(protocol.clone());
+                    }
+                }
+            }
         }
         if let (Some(Value::Num(mean)), Some(Value::Num(best))) =
             (row.get("wall_ms_mean"), row.get("wall_ms_best"))
@@ -342,6 +363,14 @@ pub fn check_bench(text: &str) -> Vec<String> {
              (giant-n lazy-outcome rows missing)"
                 .to_string(),
         );
+    }
+    if !smoke {
+        for protocol in parallel_protocols.difference(&multithreaded_protocols) {
+            errs.push(format!(
+                "full run has no threads > 1 row for parallel protocol \
+                 `{protocol}` (concurrent-engine rows missing)"
+            ));
+        }
     }
     errs
 }
@@ -419,14 +448,17 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-  "schema": "bib-bench/engines/v4",
+  "schema": "bib-bench/engines/v5",
   "seed": 2013,
   "smoke": true,
   "host": {"threads": 1, "rustc": "rustc"},
   "results": [
     {"protocol": "collision(c=1)", "scenario": "parallel", "engine": "histogram",
-     "n": 4096, "m": 4096, "reps": 3, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
-     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": false}
+     "n": 4096, "m": 4096, "reps": 3, "threads": 1, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
+     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": false},
+    {"protocol": "collision(c=1)", "scenario": "parallel", "engine": "concurrent",
+     "n": 8192, "m": 8192, "reps": 3, "threads": 8, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
+     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": true}
   ]
 }"#
         .to_string()
@@ -458,9 +490,23 @@ mod tests {
     }
 
     #[test]
+    fn full_runs_require_a_multithreaded_row_per_parallel_protocol() {
+        // Smoke docs skip the gate; a full doc whose only threads > 1
+        // row is gone must name the uncovered protocol.
+        let full = valid_doc()
+            .replace("\"smoke\": true", "\"smoke\": false")
+            .replace("\"n\": 4096,", "\"n\": 1000000000,");
+        assert_eq!(check_bench(&full), Vec::<String>::new());
+        let serial_only = full.replace("\"threads\": 8,", "\"threads\": 1,");
+        assert!(check_bench(&serial_only)
+            .iter()
+            .any(|e| e.contains("no threads > 1 row for parallel protocol `collision(c=1)`")));
+    }
+
+    #[test]
     fn bench_doc_catches_schema_and_row_defects() {
-        let bad_schema = valid_doc().replace("engines/v4", "engines/v3");
-        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v4`"));
+        let bad_schema = valid_doc().replace("engines/v5", "engines/v3");
+        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v5`"));
 
         let missing_bool = valid_doc().replace(", \"loads_materialized\": false", "");
         assert!(check_bench(&missing_bool)

@@ -15,6 +15,7 @@
 //! | P1   | no bare `unwrap()` / `expect("")` in library code of core/parallel/reloc/rng |
 //! | N1   | no narrowing `as` casts to ≤32-bit integers in core/parallel load arithmetic |
 //! | C1   | `unsafe`/atomics/memory orderings demand adjacent `// SAFETY:`/`// ORDERING:`; `src/lib.rs` must `#![forbid(unsafe_code)]` |
+//! | C2   | CAS retry loops (`compare_exchange`/`compare_exchange_weak`/`fetch_update`) demand an adjacent `// RETRY:` termination argument |
 //!
 //! Suppression: `// lint:allow(RULE): justification` on the offending
 //! line or the line directly above. The justification is mandatory —
@@ -265,7 +266,7 @@ const CAST_CRATES: &[&str] = &["core", "parallel"];
 const CLOCK_CRATES: &[&str] = &["bench", "compat/criterion"];
 
 /// All rule identifiers a pragma or allowlist entry may name.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "N1", "C1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "P1", "N1", "C1", "C2"];
 
 /// Runs every rule over one file and returns the *unsuppressed*
 /// findings (pragma handling included).
@@ -277,6 +278,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     rule_p1(file, &mut raw);
     rule_n1(file, &mut raw);
     rule_c1(file, &mut raw);
+    rule_c2(file, &mut raw);
     apply_pragmas(file, raw)
 }
 
@@ -595,6 +597,56 @@ fn rule_c1(file: &SourceFile, out: &mut Vec<Finding>) {
                 format!(
                     "`{}` without an adjacent `// {marker}` comment (within 3 lines above): \
                      write down the invariant/ordering argument it relies on",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// C2 — CAS retry loops must carry a termination argument. A
+/// `compare_exchange` that loses can spin forever unless something
+/// bounds the retries (a monotone lattice, a claimant count, a
+/// single-writer guarantee); the argument has to be written down in an
+/// adjacent `// RETRY:` comment, C1-style.
+fn rule_c2(file: &SourceFile, out: &mut Vec<Finding>) {
+    const CAS_OPS: &[&str] = &["compare_exchange", "compare_exchange_weak", "fetch_update"];
+
+    // Marker comments reach through their own continuation lines, same
+    // adjacency contract as C1's SAFETY/ORDERING markers.
+    let comments = &file.lexed.comments;
+    let mut marker_spans: Vec<(u32, u32)> = Vec::new();
+    for (ci, c) in comments.iter().enumerate() {
+        if !c.text.contains("RETRY:") {
+            continue;
+        }
+        let mut end = c.end_line;
+        for next in &comments[ci + 1..] {
+            if next.line == end + 1 {
+                end = next.end_line;
+            } else {
+                break;
+            }
+        }
+        marker_spans.push((c.line, end));
+    }
+
+    for t in idents(&file.lexed.tokens) {
+        if !CAS_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let near = marker_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= t.line && hi + 3 >= t.line);
+        if !near {
+            out.push(finding(
+                file,
+                "C2",
+                t.line,
+                format!(
+                    "`{}` without an adjacent `// RETRY:` comment (within 3 lines above): \
+                     write down why the retry loop terminates (monotone state, bounded \
+                     claimants, single writer, …)",
                     t.text
                 ),
             ));

@@ -1,0 +1,13 @@
+//! C2 clean fixture: the termination argument lives next to the loop.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn claim(x: &AtomicU64, cap: u64) -> bool {
+    // RETRY: terminates because the counter only grows — once it
+    // reaches `cap` the closure returns None and the loop exits, and
+    // each failed CAS re-reads a strictly larger value.
+    // ORDERING: the counter publishes nothing; Relaxed on both edges.
+    x.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        (v < cap).then_some(v + 1)
+    })
+    .is_ok()
+}

@@ -1,0 +1,11 @@
+//! C2 suppressed fixture.
+// ORDERING: the counter publishes nothing; Relaxed on both edges.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn claim(x: &AtomicU64, cap: u64) -> bool {
+    // lint:allow(C2): spike branch, termination argument tracked in the CAS-engine issue
+    x.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        (v < cap).then_some(v + 1)
+    })
+    .is_ok()
+}

@@ -1,0 +1,10 @@
+//! C2 violating fixture: a CAS retry loop with no termination argument.
+// ORDERING: the counter publishes nothing; Relaxed on both edges.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn claim(x: &AtomicU64, cap: u64) -> bool {
+    x.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        (v < cap).then_some(v + 1)
+    })
+    .is_ok()
+}

@@ -185,6 +185,43 @@ fn c1_crate_root_must_forbid_unsafe() {
 }
 
 #[test]
+fn c2_cas_loops_need_retry_comments() {
+    check_triple(
+        "C2",
+        "crates/parallel/src/fix.rs",
+        include_str!("fixtures/c2/violating.rs"),
+        include_str!("fixtures/c2/clean.rs"),
+        include_str!("fixtures/c2/suppressed.rs"),
+    );
+}
+
+#[test]
+fn c2_applies_to_tests_too() {
+    // Same scope as C1: a CAS loop in a test can hang the suite just
+    // as well as one in library code.
+    let v = run(
+        "C2",
+        "crates/parallel/tests/fix.rs",
+        include_str!("fixtures/c2/violating.rs"),
+    );
+    assert!(!v.is_empty(), "C2 should govern tests as well");
+}
+
+#[test]
+fn c2_every_cas_spelling_is_flagged() {
+    for op in ["compare_exchange", "compare_exchange_weak", "fetch_update"] {
+        let src = format!(
+            "use std::sync::atomic::{{AtomicU64, Ordering}};\n\
+             pub fn f(x: &AtomicU64) {{\n\
+                 let _ = x.{op}(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v));\n\
+             }}\n"
+        );
+        let v = run("C2", "crates/core/src/fix.rs", &src);
+        assert!(v.iter().any(|f| f.rule == "C2"), "C2 missed `{op}`: {v:?}");
+    }
+}
+
+#[test]
 fn unjustified_pragma_is_a_finding() {
     let src =
         "// lint:allow(D1)\nuse std::time::Instant;\npub fn f() -> Instant { Instant::now() }\n";

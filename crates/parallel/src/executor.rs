@@ -169,6 +169,41 @@ mod tests {
     }
 
     #[test]
+    fn unbalanced_work_self_schedules() {
+        // Regression guard for the self-scheduling claim: task 0 blocks
+        // until every other task has finished. Under static chunking
+        // (worker 0 owns tasks 0..count/2) the tasks stuck behind task 0
+        // would never run and this would deadlock; under ticket
+        // self-scheduling the other worker drains every remaining task
+        // while task 0 waits, so it completes promptly. The spin is
+        // capped so a scheduling regression fails loudly instead of
+        // hanging the suite.
+        const COUNT: usize = 64;
+        // ORDERING: Relaxed — the counter is only a progress tally;
+        // task 0 needs no data published by the other tasks.
+        let finished = AtomicUsize::new(0);
+        let out = par_map(COUNT, 2, |i| {
+            if i == 0 {
+                let mut spins = 0u64;
+                // ORDERING: Relaxed — progress tally only.
+                while finished.load(Ordering::Relaxed) < COUNT - 1 {
+                    std::thread::yield_now();
+                    spins += 1;
+                    assert!(
+                        spins < 10_000_000,
+                        "task 0 starved: tasks are not self-scheduled"
+                    );
+                }
+            } else {
+                // ORDERING: Relaxed — progress tally only.
+                finished.fetch_add(1, Ordering::Relaxed);
+            }
+            i
+        });
+        assert_eq!(out, (0..COUNT).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn more_threads_than_tasks() {
         let out = par_map(3, 64, |i| i);
         assert_eq!(out, vec![0, 1, 2]);

@@ -85,15 +85,27 @@ impl Protocol for ParallelGreedy {
     ///
     /// The engine in `cfg` resolves by the parallel family's fixed rule
     /// (see [`super`]): `Faithful`/`Jump` run the per-contact rounds,
-    /// `Histogram`/`LevelBatched` the round-occupancy engine, `Auto`
-    /// the measured cutoff [`Engine::auto_parallel`].
+    /// `Histogram`/`LevelBatched` the round-occupancy engine,
+    /// `Concurrent` the sharded multi-thread engine
+    /// ([`super::concurrent`]), `Auto` the measured cutoff
+    /// [`Engine::auto_parallel`] (promoted to `Concurrent` when
+    /// `cfg.threads > 1`).
     fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
-        match resolve_round_engine(cfg.engine, cfg.n, cfg.m) {
+        match resolve_round_engine(cfg.engine, cfg.n, cfg.m, cfg.threads) {
             Engine::Histogram => self.allocate_round_occupancy(cfg, rng, obs),
+            Engine::Concurrent => super::concurrent::parallel_greedy(
+                self.d,
+                self.rounds,
+                self.per_round,
+                self.name(),
+                cfg,
+                rng,
+                obs,
+            ),
             _ => self.allocate_faithful(cfg, rng, obs),
         }
     }
