@@ -7,13 +7,20 @@
 //! shapes) and the *parallel round* protocols (faithful per-contact
 //! rounds vs the round-occupancy engine at `n = m = 10⁷`) — one row per
 //! cell, each tagged with its `scenario`
-//! (`uniform` | `weighted` | `parallel`), and writes a machine-readable
-//! JSON record (schema v5) so the perf trajectory is tracked in-repo.
+//! (`uniform` | `weighted` | `parallel` | `stream`), and writes a
+//! machine-readable JSON record (schema v6) so the perf trajectory is
+//! tracked in-repo.
 //! The parallel family additionally runs the sharded concurrent
 //! single-run engine at 1, 2 and 8 worker threads (deterministic mode)
 //! — each row carries `threads`, the worker count *inside* the run.
 //! Each row carries `loads_materialized`: whether the outcome ever
-//! built its dense per-bin vector. Full (non-smoke) runs add the
+//! built its dense per-bin vector, plus the serve-mode degradation
+//! ledger `shed_rate`/`alive_frac` (0.0/1.0 for every batch row).
+//! Serve-mode (`scenario = stream`) rows run the churn + fault-plan
+//! driver — the serial reference at 1 thread and the dense sharded
+//! concurrent engine at 2 and 8 threads — with a mid-run mass failure
+//! and recovery, so the matrix tracks the sustained-throughput story,
+//! not just the batch one. Full (non-smoke) runs add the
 //! giant-n histogram-only rows — adaptive and collision at `n = 10⁸`
 //! and `10⁹` — which are only possible because the lazy outcome keeps
 //! memory independent of `n`. The committed `BENCH_engines.json` at
@@ -37,14 +44,22 @@
 use bib_bench::ExpArgs;
 use bib_core::prelude::*;
 use bib_core::run::run_protocol;
+use bib_core::stream::stream_name;
 use bib_parallel::protocols::{BoundedLoad, Collision, ParallelGreedy};
-use bib_parallel::{available_threads, par_map};
+use bib_parallel::{available_threads, par_map, serve_concurrent};
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// What a matrix cell runs: a one-shot batch protocol, or a serve-mode
+/// stream (churn + fault plan) under a placement family.
+enum Work {
+    Batch(Box<dyn DynProtocol + Send + Sync>),
+    Stream(Box<StreamSpec>, Family),
+}
+
 /// One cell of the matrix to measure.
 struct Spec {
-    proto: Box<dyn DynProtocol + Send + Sync>,
+    work: Work,
     cfg: RunConfig,
     reps: u64,
     /// Engine label for the row.
@@ -53,6 +68,24 @@ struct Spec {
     /// weighted cells differ only by their weight shape, which must be
     /// readable off the row key.
     name: Option<String>,
+}
+
+impl Spec {
+    fn batch(
+        proto: Box<dyn DynProtocol + Send + Sync>,
+        cfg: RunConfig,
+        reps: u64,
+        engine: &'static str,
+        name: Option<String>,
+    ) -> Self {
+        Spec {
+            work: Work::Batch(proto),
+            cfg,
+            reps,
+            engine,
+            name,
+        }
+    }
 }
 
 /// One measured cell.
@@ -72,6 +105,10 @@ struct Cell {
     /// Whether the outcome materialized its dense per-bin load vector
     /// (false = lazy histogram outcome; the giant-n rows require it).
     loads_materialized: bool,
+    /// Shed fraction of the arrival stream (0.0 for every batch row).
+    shed_rate: f64,
+    /// Alive bin fraction at the end of the run (1.0 for batch rows).
+    alive_frac: f64,
 }
 
 fn measure(spec: &Spec, seed: u64) -> Cell {
@@ -79,27 +116,48 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
     // history belong to the process, not the engine under test. Cells
     // measured with a single rep are multi-second runs where the
     // warm-up would double the cost for no benefit — skip it there.
+    let run_once = |rep: u64| -> Outcome {
+        let seed = seed.wrapping_add(rep);
+        match &spec.work {
+            Work::Batch(proto) => run_protocol(proto.as_ref(), &spec.cfg, seed),
+            Work::Stream(sspec, family) => {
+                let report = if spec.cfg.threads > 1 {
+                    serve_concurrent(sspec, *family, &spec.cfg, seed)
+                } else {
+                    serve(sspec, *family, &spec.cfg, seed)
+                };
+                report.outcome
+            }
+        }
+    };
     if spec.reps > 1 {
-        let _ = run_protocol(spec.proto.as_ref(), &spec.cfg, seed);
+        let _ = run_once(u64::MAX);
     }
     let mut wall_ms = 0.0f64;
     let mut wall_ms_best = f64::MAX;
     let mut samples = 0u64;
     let mut scenario = "uniform";
     let mut loads_materialized = false;
+    let mut shed_rate = 0.0f64;
+    let mut alive_frac = 1.0f64;
     for rep in 0..spec.reps {
         let start = Instant::now();
-        let out = run_protocol(spec.proto.as_ref(), &spec.cfg, seed.wrapping_add(rep));
+        let out = run_once(rep);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         wall_ms += ms;
         wall_ms_best = wall_ms_best.min(ms);
         samples += out.total_samples;
         scenario = out.scenario.label();
         loads_materialized = out.loads.is_materialized();
+        shed_rate = out.scenario.shed_rate();
+        alive_frac = out.scenario.alive_frac;
     }
     let wall_ms_mean = wall_ms / spec.reps as f64;
     Cell {
-        protocol: spec.name.clone().unwrap_or_else(|| spec.proto.name()),
+        protocol: spec.name.clone().unwrap_or_else(|| match &spec.work {
+            Work::Batch(proto) => proto.name(),
+            Work::Stream(_, family) => stream_name(*family),
+        }),
         scenario,
         engine: spec.engine.to_string(),
         n: spec.cfg.n,
@@ -115,6 +173,8 @@ fn measure(spec: &Spec, seed: u64) -> Cell {
         },
         mballs_per_sec: spec.cfg.m as f64 / wall_ms_best / 1e3,
         loads_materialized,
+        shed_rate,
+        alive_frac,
     }
 }
 
@@ -173,20 +233,20 @@ fn main() {
         let m = phi * n as u64;
         for engine in Engine::ALL.into_iter().chain([Engine::Auto]) {
             let cfg = RunConfig::new(n, m).with_engine(engine);
-            specs.push(Spec {
-                proto: Box::new(Threshold),
+            specs.push(Spec::batch(
+                Box::new(Threshold),
                 cfg,
                 reps,
-                engine: engine.name(),
-                name: None,
-            });
-            specs.push(Spec {
-                proto: Box::new(Adaptive::paper()),
+                engine.name(),
+                None,
+            ));
+            specs.push(Spec::batch(
+                Box::new(Adaptive::paper()),
                 cfg,
                 reps,
-                engine: engine.name(),
-                name: None,
-            });
+                engine.name(),
+                None,
+            ));
         }
     }
     // Fixed-sample baselines at the heaviest size: the histogram engine
@@ -200,20 +260,20 @@ fn main() {
         } else {
             3
         };
-        specs.push(Spec {
-            proto: Box::new(OneChoice),
+        specs.push(Spec::batch(
+            Box::new(OneChoice),
             cfg,
             reps,
-            engine: engine.name(),
-            name: None,
-        });
-        specs.push(Spec {
-            proto: Box::new(GreedyD::new(2)),
+            engine.name(),
+            None,
+        ));
+        specs.push(Spec::batch(
+            Box::new(GreedyD::new(2)),
             cfg,
             reps,
-            engine: engine.name(),
-            name: None,
-        });
+            engine.name(),
+            None,
+        ));
     }
     // Weighted rows at the heavy size: faithful per-ball vs the
     // weight-class histogram engine, across the weight shapes of the
@@ -232,22 +292,22 @@ fn main() {
             } else {
                 3
             };
-            specs.push(Spec {
-                proto: Box::new(WeightedAdaptive::new(weights.clone())),
+            specs.push(Spec::batch(
+                Box::new(WeightedAdaptive::new(weights.clone())),
                 cfg,
                 reps,
-                engine: engine.name(),
-                name: Some(format!("weighted-adaptive[{shape}]")),
-            });
+                engine.name(),
+                Some(format!("weighted-adaptive[{shape}]")),
+            ));
         }
         let cfg = RunConfig::new(n_w, m_w).with_engine(Engine::Histogram);
-        specs.push(Spec {
-            proto: Box::new(WeightedOneChoice::new(weights)),
+        specs.push(Spec::batch(
+            Box::new(WeightedOneChoice::new(weights)),
             cfg,
-            reps: 3,
-            engine: Engine::Histogram.name(),
-            name: Some(format!("weighted-one-choice[{shape}]")),
-        });
+            3,
+            Engine::Histogram.name(),
+            Some(format!("weighted-one-choice[{shape}]")),
+        ));
     }
     // Parallel-round rows at m = n: faithful per-contact rounds vs the
     // round-occupancy engine. The heavy size (n = m = 10⁷) is the
@@ -270,13 +330,7 @@ fn main() {
             } else {
                 3
             };
-            specs.push(Spec {
-                proto: make(),
-                cfg,
-                reps,
-                engine: engine.name(),
-                name: None,
-            });
+            specs.push(Spec::batch(make(), cfg, reps, engine.name(), None));
         }
         // The concurrent single-run engine (deterministic mode) at 1,
         // 2 and 8 worker threads — the first multi-thread rows in the
@@ -287,13 +341,7 @@ fn main() {
             let cfg = RunConfig::new(n_p, n_p as u64)
                 .with_engine(Engine::Concurrent)
                 .with_threads(threads);
-            specs.push(Spec {
-                proto: make(),
-                cfg,
-                reps: 3,
-                engine: Engine::Concurrent.name(),
-                name: None,
-            });
+            specs.push(Spec::batch(make(), cfg, 3, Engine::Concurrent.name(), None));
         }
     }
 
@@ -308,22 +356,67 @@ fn main() {
     if !smoke {
         for n_g in [100_000_000usize, 1_000_000_000] {
             let cfg = RunConfig::new(n_g, 16 * n_g as u64).with_engine(Engine::Histogram);
-            specs.push(Spec {
-                proto: Box::new(Adaptive::paper()),
+            specs.push(Spec::batch(
+                Box::new(Adaptive::paper()),
                 cfg,
-                reps: 3,
-                engine: Engine::Histogram.name(),
-                name: None,
-            });
+                3,
+                Engine::Histogram.name(),
+                None,
+            ));
             let cfg = RunConfig::new(n_g, n_g as u64).with_engine(Engine::Histogram);
-            specs.push(Spec {
-                proto: Box::new(Collision::new(1)),
+            specs.push(Spec::batch(
+                Box::new(Collision::new(1)),
                 cfg,
-                reps: 3,
-                engine: Engine::Histogram.name(),
-                name: None,
-            });
+                3,
+                Engine::Histogram.name(),
+                None,
+            ));
         }
+    }
+
+    // Serve-mode rows: a seeded churn stream with a mid-run mass
+    // failure (half the fleet dies, later recovers) under the default
+    // retry/backoff policy — the serial reference driver at 1 thread
+    // and the dense sharded concurrent engine at 2 and 8 workers. The
+    // degradation ledger lands in the row as `shed_rate`/`alive_frac`;
+    // `balls-lint --check-bench` requires at least one stream row
+    // (full runs: one with threads > 1), so serve mode can never
+    // silently drop out of the committed matrix.
+    let (n_s, ticks_s) = if smoke {
+        (512usize, 40u64)
+    } else {
+        (100_000usize, 200u64)
+    };
+    let m_s = ticks_s * if smoke { 400 } else { 50_000 };
+    let stream_spec = || {
+        Box::new(
+            StreamSpec::new(ticks_s, 0.10)
+                .with_faults(FaultPlan::mass_failure(
+                    ticks_s / 3,
+                    0.5,
+                    2 * ticks_s / 3,
+                    7,
+                ))
+                .with_retry(RetryPolicy::default()),
+        )
+    };
+    for family in [Family::Greedy(2), Family::Adaptive] {
+        specs.push(Spec {
+            work: Work::Stream(stream_spec(), family),
+            cfg: RunConfig::new(n_s, m_s),
+            reps: 3,
+            engine: "stream",
+            name: None,
+        });
+    }
+    for stream_threads in if smoke { vec![2usize] } else { vec![2usize, 8] } {
+        specs.push(Spec {
+            work: Work::Stream(stream_spec(), Family::Greedy(2)),
+            cfg: RunConfig::new(n_s, m_s).with_threads(stream_threads),
+            reps: 3,
+            engine: Engine::Concurrent.name(),
+            name: None,
+        });
     }
 
     let threads = if serial {
@@ -335,7 +428,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v5\",");
+    let _ = writeln!(json, "  \"schema\": \"bib-bench/engines/v6\",");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(
@@ -351,7 +444,7 @@ fn main() {
             "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"engine\": \"{}\", \
              \"n\": {}, \"m\": {}, \"reps\": {}, \"threads\": {}, \"wall_ms_mean\": {:.3}, \
              \"wall_ms_best\": {:.3}, \"samples_per_ball\": {:.6}, \"mballs_per_sec\": {:.3}, \
-             \"loads_materialized\": {}}}",
+             \"loads_materialized\": {}, \"shed_rate\": {:.6}, \"alive_frac\": {:.6}}}",
             c.protocol,
             c.scenario,
             c.engine,
@@ -363,7 +456,9 @@ fn main() {
             c.wall_ms_best,
             c.samples_per_ball,
             c.mballs_per_sec,
-            c.loads_materialized
+            c.loads_materialized,
+            c.shed_rate,
+            c.alive_frac
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -378,7 +473,7 @@ fn main() {
         threads
     );
     println!(
-        "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12} {:>12} {:>14} {:>12} {:>6}",
+        "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12} {:>12} {:>14} {:>12} {:>6} {:>9} {:>7}",
         "protocol",
         "scenario",
         "engine",
@@ -389,11 +484,13 @@ fn main() {
         "wall_best",
         "samples/ball",
         "Mballs/s",
-        "lazy"
+        "lazy",
+        "shed",
+        "alive"
     );
     for c in &cells {
         println!(
-            "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12.3} {:>12.3} {:>14.4} {:>12.2} {:>6}",
+            "{:<20} {:<10} {:>14} {:>11} {:>13} {:>4} {:>12.3} {:>12.3} {:>14.4} {:>12.2} {:>6} {:>9.5} {:>7.3}",
             c.protocol,
             c.scenario,
             c.engine,
@@ -404,7 +501,9 @@ fn main() {
             c.wall_ms_best,
             c.samples_per_ball,
             c.mballs_per_sec,
-            if c.loads_materialized { "no" } else { "yes" }
+            if c.loads_materialized { "no" } else { "yes" },
+            c.shed_rate,
+            c.alive_frac
         );
     }
 }

@@ -268,16 +268,17 @@ fn bench_json_smoke_writes_valid_json() {
     assert!(echo.contains("level-batched"));
     assert!(echo.contains("histogram"));
     let json = std::fs::read_to_string(&out_path).expect("bench_json must write its output file");
-    assert!(json.contains("\"schema\": \"bib-bench/engines/v5\""));
+    assert!(json.contains("\"schema\": \"bib-bench/engines/v6\""));
     assert!(json.contains("\"host\""), "host metadata missing");
     assert!(json.contains("\"threads\""), "thread count missing");
     assert!(json.contains("\"rustc\""), "rustc version missing");
     // Full matrix: 3 sizes x (4 engines + auto) x 2 protocols, plus the
     // fixed-sample block at the heavy size (2 protocols x 3 engines),
     // the weighted block (3 weight shapes x (3 adaptive engines + 1
-    // one-choice row)) and the parallel-round block (3 protocols x
-    // ({faithful, histogram, auto} + concurrent at 1/2/8 threads)).
-    assert_eq!(json.matches("\"protocol\"").count(), 66);
+    // one-choice row)), the parallel-round block (3 protocols x
+    // ({faithful, histogram, auto} + concurrent at 1/2/8 threads)) and
+    // the serve-mode block (2 serial families + 1 concurrent row).
+    assert_eq!(json.matches("\"protocol\"").count(), 69);
     // Every row is tagged with its scenario, records (schema v4)
     // whether it ever materialized the dense load vector, and carries
     // (schema v5) its in-run worker-thread count.
@@ -323,12 +324,35 @@ fn bench_json_smoke_writes_valid_json() {
             "missing fixed-sample protocol {protocol}"
         );
     }
-    for scenario in ["uniform", "weighted", "parallel"] {
+    for scenario in ["uniform", "weighted", "parallel", "stream"] {
         assert!(
             json.contains(&format!("\"scenario\": \"{scenario}\"")),
             "missing scenario {scenario}"
         );
     }
+    // Serve-mode rows (schema v6) carry the degradation ledger, and
+    // the mid-run mass failure must leave a counted trace: at least
+    // one stream row records a nonzero shed rate or a sub-1.0 alive
+    // fraction is impossible here (the plan recovers), so instead pin
+    // the columns themselves plus the stream-keyed protocol name.
+    assert_eq!(
+        json.matches("\"protocol\"").count(),
+        json.matches("\"shed_rate\"").count(),
+        "every row must carry shed_rate"
+    );
+    assert_eq!(
+        json.matches("\"protocol\"").count(),
+        json.matches("\"alive_frac\"").count(),
+        "every row must carry alive_frac"
+    );
+    assert!(
+        json.contains("\"protocol\": \"stream-greedy[2]\""),
+        "missing serve-mode stream row"
+    );
+    assert!(
+        json.contains("\"engine\": \"stream\""),
+        "missing serial serve-mode row"
+    );
     // Weighted rows are keyed by their weight shape so the three shape
     // groups stay distinguishable; parallel rows by protocol name.
     for protocol in [

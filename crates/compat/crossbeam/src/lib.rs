@@ -246,23 +246,104 @@ pub mod pool {
     //! round-synchronous supersteps: every worker runs the same closure,
     //! and [`Rounds::sync`] separates the phases of a round so that all
     //! writes before the barrier are visible to every worker after it.
+    //!
+    //! # Panic propagation
+    //!
+    //! The barrier is *poisonable*: when any worker panics, every other
+    //! worker parked (or later arriving) at [`Rounds::sync`] is released
+    //! by unwinding instead of waiting for a round that can never
+    //! complete, and the first panic's original payload is re-raised on
+    //! the calling thread after the scope joins. Without this, a
+    //! `std::sync::Barrier` would strand the surviving workers forever
+    //! (the scope join waits on them, they wait on the dead worker).
 
-    use std::sync::Barrier;
+    use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// Private unwind payload used to release workers parked at a
+    /// poisoned barrier; never surfaced to callers (the *original*
+    /// panic payload is what propagates).
+    struct BarrierPoisoned;
+
+    struct BarrierState {
+        count: usize,
+        generation: u64,
+        poisoned: bool,
+    }
 
     /// The per-round synchronization handle passed to every worker.
     pub struct Rounds {
-        barrier: Barrier,
+        lock: Mutex<BarrierState>,
+        cvar: Condvar,
         workers: usize,
     }
 
     impl Rounds {
+        fn new(workers: usize) -> Self {
+            Self {
+                lock: Mutex::new(BarrierState {
+                    count: 0,
+                    generation: 0,
+                    poisoned: false,
+                }),
+                cvar: Condvar::new(),
+                workers,
+            }
+        }
+
+        /// The barrier's own mutex poisoning is impossible by
+        /// construction (no caller panics while holding the guard), but
+        /// recovering the inner state keeps the release path alive even
+        /// if that invariant is ever broken.
+        fn state(&self) -> MutexGuard<'_, BarrierState> {
+            self.lock.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
         /// Blocks until every worker has called `sync`. All memory
         /// writes sequenced before any worker's `sync` happen-before
         /// everything sequenced after the matching `sync` in every
-        /// other worker (the `std::sync::Barrier` contract) — this is
-        /// the only inter-phase ordering the round engines rely on.
+        /// other worker (mutex release/acquire on the shared barrier
+        /// state) — this is the only inter-phase ordering the round
+        /// engines rely on.
+        ///
+        /// # Panics
+        ///
+        /// Unwinds (with a private sentinel payload) if the barrier was
+        /// poisoned by a panicking worker; [`scoped`] catches the
+        /// sentinel and re-raises the original panic on the caller.
         pub fn sync(&self) {
-            self.barrier.wait();
+            let mut st = self.state();
+            if st.poisoned {
+                drop(st);
+                panic_any(BarrierPoisoned);
+            }
+            let gen = st.generation;
+            st.count += 1;
+            if st.count == self.workers {
+                st.count = 0;
+                st.generation += 1;
+                self.cvar.notify_all();
+                return;
+            }
+            // RETRY: condvar wait loop; exits when the round completes
+            // (generation bump) or the barrier is poisoned — both are
+            // one-way transitions, so the loop terminates.
+            while st.generation == gen && !st.poisoned {
+                st = self.cvar.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.poisoned && st.generation == gen {
+                // Released by poison, not by a completed round: this
+                // round can never complete, so unwind out of the phase.
+                drop(st);
+                panic_any(BarrierPoisoned);
+            }
+        }
+
+        /// Marks the barrier dead and releases every parked worker.
+        fn poison(&self) {
+            let mut st = self.state();
+            st.poisoned = true;
+            self.cvar.notify_all();
         }
 
         /// Number of workers in the pool.
@@ -274,29 +355,51 @@ pub mod pool {
     /// Runs `f(worker_id, rounds)` on `workers` workers (ids
     /// `0..workers`) inside one `std::thread::scope`. Worker 0 runs on
     /// the calling thread, so a single-worker pool spawns nothing and a
-    /// multi-worker pool keeps the caller busy instead of parked. A
-    /// panic in any worker propagates to the caller when the scope
-    /// joins.
+    /// multi-worker pool keeps the caller busy instead of parked.
+    ///
+    /// # Panics
+    ///
+    /// If any worker panics, the pool poisons the barrier (releasing
+    /// workers parked at [`Rounds::sync`]), joins every worker, and
+    /// re-raises the **first** panic's original payload on the calling
+    /// thread.
     pub fn scoped<F>(workers: usize, f: F)
     where
         F: Fn(usize, &Rounds) + Sync,
     {
         let workers = workers.max(1);
-        let rounds = Rounds {
-            barrier: Barrier::new(workers),
-            workers,
-        };
+        let rounds = Rounds::new(workers);
         if workers == 1 {
             f(0, &rounds);
             return;
         }
-        std::thread::scope(|s| {
-            let (f, rounds) = (&f, &rounds);
-            for w in 1..workers {
-                s.spawn(move || f(w, rounds));
+        // First panic's payload; later (sentinel-released) unwinds are
+        // collateral and dropped.
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let run = |w: usize| {
+            // AssertUnwindSafe: on unwind the shared state is either
+            // poisoned (and every observer unwinds too) or untouched by
+            // this worker; nothing is observed in a broken state.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(w, &rounds))) {
+                if !payload.is::<BarrierPoisoned>() {
+                    let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                rounds.poison();
             }
-            f(0, rounds);
+        };
+        std::thread::scope(|s| {
+            let run = &run;
+            for w in 1..workers {
+                s.spawn(move || run(w));
+            }
+            run(0);
         });
+        if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
     }
 
     #[cfg(test)]
@@ -351,6 +454,62 @@ pub mod pool {
                 seen.fetch_or(1 << w, Ordering::Relaxed);
             });
             assert_eq!(seen.load(Ordering::Relaxed), 0b111);
+        }
+
+        #[test]
+        fn spawned_worker_panic_releases_the_barrier_and_propagates() {
+            // The strand-on-panic regression: worker 2 dies before its
+            // sync() while the others park at the barrier. Without
+            // poisoning, the survivors wait forever and the scope join
+            // never returns; with it, the pool unwinds with the dead
+            // worker's original payload.
+            let caught = std::panic::catch_unwind(|| {
+                scoped(4, |w, rounds| {
+                    if w == 2 {
+                        panic!("worker 2 injected failure");
+                    }
+                    rounds.sync();
+                });
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("original payload type preserved");
+            assert_eq!(msg, "worker 2 injected failure");
+        }
+
+        #[test]
+        fn caller_worker_panic_releases_spawned_workers() {
+            // Same strand, other direction: worker 0 (the caller) dies
+            // while spawned workers park at the barrier.
+            let caught = std::panic::catch_unwind(|| {
+                scoped(3, |w, rounds| {
+                    if w == 0 {
+                        panic!("caller died");
+                    }
+                    rounds.sync();
+                });
+            });
+            let payload = caught.expect_err("panic must propagate");
+            assert_eq!(payload.downcast_ref::<&str>(), Some(&"caller died"));
+        }
+
+        #[test]
+        fn panic_after_rounds_still_propagates() {
+            // A worker that dies *between* barriers (others already past
+            // the round) must still poison and propagate.
+            let caught = std::panic::catch_unwind(|| {
+                scoped(4, |w, rounds| {
+                    rounds.sync(); // round 1 completes on all workers
+                    if w == 1 {
+                        panic!("late failure");
+                    }
+                    rounds.sync(); // round 2 can never complete
+                });
+            });
+            let payload = caught.expect_err("panic must propagate");
+            assert_eq!(payload.downcast_ref::<&str>(), Some(&"late failure"));
         }
     }
 }

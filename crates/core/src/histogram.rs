@@ -134,9 +134,59 @@ impl OccupancyHistogram {
         }
     }
 
+    /// A histogram holding zero bins — the birth state of the
+    /// streaming driver's drained/dead shelves, which bins enter and
+    /// leave through [`OccupancyHistogram::add_bins`] /
+    /// [`OccupancyHistogram::remove_bins`]. Span queries
+    /// (`min_load`/`max_load`) require at least one bin; callers guard
+    /// on [`OccupancyHistogram::n`].
+    pub fn empty() -> Self {
+        Self {
+            counts: Vec::new(),
+            base: 0,
+            n: 0,
+        }
+    }
+
     /// Number of bins.
     pub fn n(&self) -> u64 {
         self.n
+    }
+
+    /// Adds `count` bins holding exactly `load` balls each — the
+    /// re-entry half of moving bins between health classes (fault
+    /// recovery). Grows the span in either direction as needed.
+    pub fn add_bins(&mut self, load: u32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.base = load;
+            self.counts.push(0);
+        } else if load < self.base {
+            let grow = (self.base - load) as usize;
+            self.counts.splice(0..0, std::iter::repeat_n(0, grow));
+            self.base = load;
+        } else if (load - self.base) as usize >= self.counts.len() {
+            self.counts.resize((load - self.base) as usize + 1, 0);
+        }
+        self.counts[(load - self.base) as usize] += count;
+        self.n += count;
+    }
+
+    /// Removes `count` bins holding exactly `load` balls each — the
+    /// extraction half of moving bins between health classes (crash,
+    /// drain). Panics if fewer than `count` bins hold `load`.
+    pub fn remove_bins(&mut self, load: u32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        assert!(
+            self.count(load) >= count,
+            "remove_bins: class {load} underflow"
+        );
+        self.counts[(load - self.base) as usize] -= count;
+        self.n -= count;
     }
 
     /// Number of bins with load exactly `l`.
@@ -213,6 +263,38 @@ impl OccupancyHistogram {
             }
             self.counts
                 .resize((target_load - self.base) as usize + 1, 0);
+        }
+        self.counts[(target_load - self.base) as usize] += bins;
+    }
+
+    /// Moves `bins` bins from load `l` *down* `levels` levels — the
+    /// departure primitive of the streaming driver, the exact inverse
+    /// of [`OccupancyHistogram::promote`]. A no-op when either count is
+    /// zero; panics (in debug) on class underflow and always when the
+    /// target load would go below zero.
+    ///
+    /// Unlike the batch engines, a churning system's span moves in both
+    /// directions, so the base can slide *down*: when the target load
+    /// falls below the current base the vector grows at the front (and
+    /// the trailing dead span is trimmed opportunistically, keeping
+    /// storage proportional to the live span).
+    pub fn demote(&mut self, l: u32, bins: u64, levels: u32) {
+        if bins == 0 || levels == 0 {
+            return;
+        }
+        assert!(l >= levels, "demote: load {l} below {levels} levels");
+        let i = (l - self.base) as usize;
+        debug_assert!(self.counts[i] >= bins, "demote: class {l} underflow");
+        self.counts[i] -= bins;
+        let target_load = l - levels;
+        if target_load < self.base {
+            // Trim the (now possibly empty) high end before growing at
+            // the front, so the vector tracks the live span.
+            let trail = self.counts.iter().rev().take_while(|&&c| c == 0).count();
+            self.counts.truncate(self.counts.len() - trail);
+            let grow = (self.base - target_load) as usize;
+            self.counts.splice(0..0, std::iter::repeat_n(0, grow));
+            self.base = target_load;
         }
         self.counts[(target_load - self.base) as usize] += bins;
     }

@@ -56,6 +56,8 @@
 pub mod batched;
 pub mod bins;
 pub mod choices;
+pub mod error;
+pub mod faults;
 pub mod histogram;
 pub mod level_batched;
 pub mod loads;
@@ -67,12 +69,15 @@ pub mod protocols;
 pub mod run;
 pub mod sampler;
 pub mod scenario;
+pub mod stream;
 pub mod weighted;
 
 /// Convenient glob-import surface for examples and downstream crates.
 pub mod prelude {
     pub use crate::batched::BatchedAdaptive;
     pub use crate::bins::LoadVector;
+    pub use crate::error::ProtocolError;
+    pub use crate::faults::{BinState, FaultEvent, FaultKind, FaultPlan};
     pub use crate::histogram::{HistogramSchedule, OccupancyHistogram};
     pub use crate::level_batched::ThresholdSchedule;
     pub use crate::loads::Loads;
@@ -87,5 +92,8 @@ pub mod prelude {
     };
     pub use crate::run::{run_protocol, run_replicates};
     pub use crate::scenario::{scenario_protocol, Family, Scenario, WeightedSchedule, Workload};
+    pub use crate::stream::{
+        serve, LatencyTail, RetryPolicy, StreamProtocol, StreamReport, StreamSpec, TickStats,
+    };
     pub use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
 }

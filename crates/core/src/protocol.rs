@@ -575,6 +575,29 @@ impl Outcome {
         }
     }
 
+    /// Balls shed by a streaming run after exhausting their retry
+    /// budget (0 for batch runs — they never shed).
+    pub fn shed(&self) -> u64 {
+        self.scenario.shed
+    }
+
+    /// Shed balls as a fraction of arrivals (0 for batch runs).
+    pub fn shed_rate(&self) -> f64 {
+        self.scenario.shed_rate()
+    }
+
+    /// Balls a streaming run placed via the one-choice degradation
+    /// fallback (0 for batch runs).
+    pub fn fallbacks(&self) -> u64 {
+        self.scenario.fallbacks
+    }
+
+    /// Accepting fraction of the fleet at the end of the run (1.0 for
+    /// batch runs — faults only exist in the streaming scenario).
+    pub fn alive_frac(&self) -> f64 {
+        self.scenario.alive_frac
+    }
+
     /// Asserts internal consistency: mass conservation, that the sample
     /// count is at least `m` (every ball needs ≥ 1 sample), and that the
     /// scenario annotations are coherent (weights match the bin count
@@ -615,6 +638,21 @@ impl Outcome {
                 self.scenario.messages >= self.m,
                 "a parallel run needs at least one message per ball"
             );
+        }
+        if self.scenario.ticks > 0 {
+            // The stream ledger: every arrived ball is resident,
+            // departed, or shed — nothing vanishes silently.
+            assert_eq!(
+                self.scenario.arrivals,
+                self.m + self.scenario.departed + self.scenario.shed,
+                "stream ledger broken: {} arrivals vs {} resident + {} departed + {} shed",
+                self.scenario.arrivals,
+                self.m,
+                self.scenario.departed,
+                self.scenario.shed
+            );
+            let af = self.scenario.alive_frac;
+            assert!((0.0..=1.0).contains(&af), "alive_frac {af} outside [0, 1]");
         }
     }
 }

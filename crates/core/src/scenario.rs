@@ -58,6 +58,7 @@
 use crate::batched::BatchedAdaptive;
 use crate::protocol::DynProtocol;
 use crate::protocols::{Adaptive, GreedyD, OneChoice, Threshold};
+use crate::stream::{StreamProtocol, StreamSpec};
 use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
 
 /// Scenario-specific annotations carried by every
@@ -68,7 +69,7 @@ use crate::weighted::{WeightedAdaptive, WeightedOneChoice};
 /// base model fill in the fields they add; every field keeps a neutral
 /// sentinel so the record stays one flat struct rather than a tree of
 /// variants (a run can be weighted *and* round-based).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Per-bin weights of a heterogeneous run (empty = uniform bins).
     pub weights: Vec<f64>,
@@ -79,6 +80,38 @@ pub struct Scenario {
     pub messages: u64,
     /// Arrival batch size of a stale-count run (0 or 1 = fully online).
     pub batch: u64,
+    /// Virtual time steps of a streaming run (0 = one-shot batch).
+    pub ticks: u64,
+    /// Total arrived balls of a streaming run. The stream ledger is
+    /// `arrivals = m + departed + shed` (with `m` the balls still
+    /// resident at the end), checked by `Outcome::validate`.
+    pub arrivals: u64,
+    /// Balls that departed during a streaming run.
+    pub departed: u64,
+    /// Balls shed after exhausting the retry budget (never silent).
+    pub shed: u64,
+    /// Balls placed via the one-choice degradation fallback.
+    pub fallbacks: u64,
+    /// Accepting fraction of the fleet at the end of the run (1.0 for
+    /// every non-stream scenario).
+    pub alive_frac: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            weights: Vec::new(),
+            rounds: 0,
+            messages: 0,
+            batch: 0,
+            ticks: 0,
+            arrivals: 0,
+            departed: 0,
+            shed: 0,
+            fallbacks: 0,
+            alive_frac: 1.0,
+        }
+    }
 }
 
 impl Scenario {
@@ -112,10 +145,42 @@ impl Scenario {
         }
     }
 
+    /// A streaming (churn + faults) scenario with its run ledger.
+    pub fn stream(
+        ticks: u64,
+        arrivals: u64,
+        departed: u64,
+        shed: u64,
+        fallbacks: u64,
+        alive_frac: f64,
+    ) -> Self {
+        Self {
+            ticks,
+            arrivals,
+            departed,
+            shed,
+            fallbacks,
+            alive_frac,
+            ..Self::default()
+        }
+    }
+
+    /// Shed balls as a fraction of arrivals (0 when nothing arrived).
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.arrivals as f64
+        }
+    }
+
     /// Canonical label for tables and JSON: `uniform`, `weighted`,
-    /// `parallel`, `batched`, or `weighted-parallel` for the (currently
-    /// hypothetical) combination.
+    /// `parallel`, `batched`, `stream`, or `weighted-parallel` for the
+    /// (currently hypothetical) combination.
     pub fn label(&self) -> &'static str {
+        if self.ticks > 0 {
+            return "stream";
+        }
         match (!self.weights.is_empty(), self.rounds > 0, self.batch > 1) {
             (true, true, _) => "weighted-parallel",
             (true, false, _) => "weighted",
@@ -215,6 +280,9 @@ pub enum Workload {
     Weighted(Vec<f64>),
     /// Uniform bins, ball count synchronised only every `batch` balls.
     Batched(u64),
+    /// Streaming arrivals/departures with faults and retries
+    /// ([`StreamSpec`]); every family runs in this cell.
+    Stream(StreamSpec),
 }
 
 impl Workload {
@@ -224,6 +292,7 @@ impl Workload {
             Workload::Uniform => "uniform",
             Workload::Weighted(_) => "weighted",
             Workload::Batched(_) => "batched",
+            Workload::Stream(_) => "stream",
         }
     }
 }
@@ -291,6 +360,7 @@ pub fn scenario_protocol(
         (Workload::Weighted(_), Family::Greedy(_)) => return None,
         (Workload::Batched(b), Family::Adaptive) => Box::new(BatchedAdaptive::new(*b)),
         (Workload::Batched(_), _) => return None,
+        (Workload::Stream(spec), f) => Box::new(StreamProtocol::new(spec.clone(), f)),
     })
 }
 
@@ -311,13 +381,17 @@ mod tests {
                 weights: vec![1.0],
                 rounds: 2,
                 messages: 4,
-                batch: 0
+                ..Scenario::default()
             }
             .label(),
             "weighted-parallel"
         );
         // batch = 1 is fully online, i.e. plain uniform.
         assert_eq!(Scenario::batched(1).label(), "uniform");
+        // A streaming run labels as stream regardless of other fields.
+        assert_eq!(Scenario::stream(10, 100, 20, 1, 2, 0.5).label(), "stream");
+        assert_eq!(Scenario::default().alive_frac, 1.0);
+        assert!((Scenario::stream(10, 100, 20, 1, 2, 0.5).shed_rate() - 0.01).abs() < 1e-12);
     }
 
     #[test]
@@ -352,6 +426,16 @@ mod tests {
             (Workload::Weighted(weights), Family::Greedy(2), false),
             (Workload::Batched(8), Family::Adaptive, true),
             (Workload::Batched(8), Family::Threshold, false),
+            (
+                Workload::Stream(crate::stream::StreamSpec::new(8, 0.1)),
+                Family::Greedy(2),
+                true,
+            ),
+            (
+                Workload::Stream(crate::stream::StreamSpec::new(8, 0.1)),
+                Family::OneChoice,
+                true,
+            ),
         ] {
             assert_eq!(
                 scenario_protocol(&wl, fam).is_some(),

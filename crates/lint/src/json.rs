@@ -217,9 +217,11 @@ const ROW_NUMBERS: &[&str] = &[
     "wall_ms_best",
     "samples_per_ball",
     "mballs_per_sec",
+    "shed_rate",
+    "alive_frac",
 ];
 const ROW_BOOLS: &[&str] = &["loads_materialized"];
-const SCENARIOS: &[&str] = &["uniform", "weighted", "parallel"];
+const SCENARIOS: &[&str] = &["uniform", "weighted", "parallel", "stream"];
 const ENGINES: &[&str] = &[
     "faithful",
     "jump",
@@ -227,6 +229,7 @@ const ENGINES: &[&str] = &[
     "histogram",
     "concurrent",
     "auto",
+    "stream",
 ];
 
 /// Validates a committed `BENCH_engines.json` document. Returns the
@@ -244,9 +247,9 @@ pub fn check_bench(text: &str) -> Vec<String> {
         )];
     };
     match top.get("schema") {
-        Some(Value::Str(s)) if s == "bib-bench/engines/v5" => {}
+        Some(Value::Str(s)) if s == "bib-bench/engines/v6" => {}
         Some(Value::Str(s)) => {
-            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v5`"))
+            errs.push(format!("schema is `{s}`, expected `bib-bench/engines/v6`"))
         }
         _ => errs.push("missing string field `schema`".to_string()),
     }
@@ -279,6 +282,11 @@ pub fn check_bench(text: &str) -> Vec<String> {
     };
     let mut has_parallel_histogram = false;
     let mut has_giant_lazy_row = false;
+    // Every document must carry at least one stream-mode row (the
+    // serve-mode fault/churn driver); full documents additionally need
+    // one on the sharded engine at threads > 1.
+    let mut has_stream_row = false;
+    let mut has_multithread_stream_row = false;
     // Per-protocol multi-thread coverage for the parallel scenario: a
     // full document must show each round protocol on the concurrent
     // engine at more than one thread.
@@ -333,6 +341,12 @@ pub fn check_bench(text: &str) -> Vec<String> {
             if scenario == "parallel" && engine == "histogram" {
                 has_parallel_histogram = true;
             }
+            if scenario == "stream" {
+                has_stream_row = true;
+                if matches!(row.get("threads"), Some(Value::Num(t)) if *t > 1.0) {
+                    has_multithread_stream_row = true;
+                }
+            }
             if scenario == "parallel" {
                 if let Some(Value::Str(protocol)) = row.get("protocol") {
                     parallel_protocols.insert(protocol.clone());
@@ -351,10 +365,27 @@ pub fn check_bench(text: &str) -> Vec<String> {
                 ));
             }
         }
+        for key in ["shed_rate", "alive_frac"] {
+            if let Some(Value::Num(v)) = row.get(key) {
+                if !(0.0..=1.0).contains(v) {
+                    errs.push(format!("results[{i}].{key} = {v} is outside [0, 1]"));
+                }
+            }
+        }
     }
     if !has_parallel_histogram {
         errs.push(
             "no parallel-scenario histogram-engine row (round-occupancy rows missing)".to_string(),
+        );
+    }
+    if !has_stream_row {
+        errs.push("no stream-scenario row (serve-mode rows missing)".to_string());
+    }
+    if !smoke && !has_multithread_stream_row {
+        errs.push(
+            "full run has no threads > 1 stream-scenario row \
+             (sharded serve-mode rows missing)"
+                .to_string(),
         );
     }
     if !smoke && !has_giant_lazy_row {
@@ -448,17 +479,23 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-  "schema": "bib-bench/engines/v5",
+  "schema": "bib-bench/engines/v6",
   "seed": 2013,
   "smoke": true,
   "host": {"threads": 1, "rustc": "rustc"},
   "results": [
     {"protocol": "collision(c=1)", "scenario": "parallel", "engine": "histogram",
      "n": 4096, "m": 4096, "reps": 3, "threads": 1, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
-     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": false},
+     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "shed_rate": 0.0, "alive_frac": 1.0,
+     "loads_materialized": false},
     {"protocol": "collision(c=1)", "scenario": "parallel", "engine": "concurrent",
      "n": 8192, "m": 8192, "reps": 3, "threads": 8, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
-     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "loads_materialized": true}
+     "samples_per_ball": 3.0, "mballs_per_sec": 10.0, "shed_rate": 0.0, "alive_frac": 1.0,
+     "loads_materialized": true},
+    {"protocol": "stream-greedy[2]", "scenario": "stream", "engine": "concurrent",
+     "n": 1024, "m": 65536, "reps": 3, "threads": 4, "wall_ms_mean": 2.0, "wall_ms_best": 1.0,
+     "samples_per_ball": 2.1, "mballs_per_sec": 20.0, "shed_rate": 0.001, "alive_frac": 1.0,
+     "loads_materialized": true}
   ]
 }"#
         .to_string()
@@ -504,11 +541,37 @@ mod tests {
     }
 
     #[test]
-    fn bench_doc_catches_schema_and_row_defects() {
-        let bad_schema = valid_doc().replace("engines/v5", "engines/v3");
-        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v5`"));
+    fn stream_rows_are_gated_and_range_checked() {
+        // Dropping the stream row trips the always-on gate.
+        let no_stream =
+            valid_doc().replace("\"scenario\": \"stream\"", "\"scenario\": \"parallel\"");
+        assert!(check_bench(&no_stream)
+            .iter()
+            .any(|e| e.contains("serve-mode rows missing")));
+        // A full run also needs a threads > 1 stream row.
+        let serial_stream = valid_doc()
+            .replace("\"smoke\": true", "\"smoke\": false")
+            .replace("\"n\": 4096,", "\"n\": 1000000000,")
+            .replace("\"threads\": 4,", "\"threads\": 1,");
+        assert!(check_bench(&serial_stream)
+            .iter()
+            .any(|e| e.contains("sharded serve-mode rows missing")));
+        // shed_rate / alive_frac must be rates.
+        let bad_rate = valid_doc().replace(
+            "\"alive_frac\": 1.0,\n     \"loads",
+            "\"alive_frac\": 1.5,\n     \"loads",
+        );
+        assert!(check_bench(&bad_rate)
+            .iter()
+            .any(|e| e.contains("outside [0, 1]")));
+    }
 
-        let missing_bool = valid_doc().replace(", \"loads_materialized\": false", "");
+    #[test]
+    fn bench_doc_catches_schema_and_row_defects() {
+        let bad_schema = valid_doc().replace("engines/v6", "engines/v3");
+        assert!(check_bench(&bad_schema)[0].contains("expected `bib-bench/engines/v6`"));
+
+        let missing_bool = valid_doc().replace(",\n     \"loads_materialized\": false}", "}");
         assert!(check_bench(&missing_bool)
             .iter()
             .any(|e| e.contains("missing bool `loads_materialized`")));

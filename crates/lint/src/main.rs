@@ -173,7 +173,7 @@ fn check_bench(path: &std::path::Path) -> ExitCode {
     let errs = json::check_bench(&text);
     if errs.is_empty() {
         println!(
-            "balls-lint: {} conforms to bib-bench/engines/v5",
+            "balls-lint: {} conforms to bib-bench/engines/v6",
             path.display()
         );
         ExitCode::SUCCESS

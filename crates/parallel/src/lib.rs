@@ -30,6 +30,8 @@
 pub mod executor;
 pub mod protocols;
 pub mod replicate;
+pub mod stream;
 
 pub use executor::{available_threads, par_map};
 pub use replicate::{replicate_outcomes, ReplicateSpec};
+pub use stream::serve_concurrent;

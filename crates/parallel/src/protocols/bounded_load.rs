@@ -10,6 +10,7 @@
 //! with `n`, and O(1) messages per ball.
 
 use super::round_occupancy::{resolve_round_engine, LevelSlots, RoundTrace};
+use bib_core::error::ProtocolError;
 use bib_core::histogram::{
     distinct_hit_count, rounded_normal_count, split_binomial, OccupancyHistogram,
 };
@@ -68,29 +69,40 @@ impl BoundedLoad {
             &mut bib_core::protocol::NullObserver,
         )
     }
-}
 
-impl Protocol for BoundedLoad {
-    fn name(&self) -> String {
-        format!("bounded-load(cap={})", self.cap)
+    /// Fallible counterpart of [`BoundedLoad::run`].
+    pub fn try_run<R: Rng64 + ?Sized>(
+        &self,
+        n: usize,
+        m: u64,
+        rng: &mut R,
+    ) -> Result<Outcome, ProtocolError> {
+        self.try_allocate(
+            &RunConfig::new(n, m),
+            rng,
+            &mut bib_core::protocol::NullObserver,
+        )
     }
 
-    /// Runs the process; panics if `m > cap·n` (capacity infeasible) or
-    /// if the safety round limit is exceeded (indicates a bug, not bad
-    /// luck — 64 rounds is astronomically beyond `log* n`).
-    ///
-    /// The engine in `cfg` resolves by the parallel family's fixed rule
-    /// (see [`super`]): `Faithful`/`Jump` run the per-contact rounds,
-    /// `Histogram`/`LevelBatched` the round-occupancy engine,
-    /// `Concurrent` the sharded multi-thread engine
-    /// ([`super::concurrent`]), `Auto` the measured cutoff
-    /// [`Engine::auto_parallel`] (promoted to `Concurrent` when
-    /// `cfg.threads > 1`).
-    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    /// Fallible allocation: an infeasible configuration (`m > cap·n`)
+    /// or an exhausted round budget comes back as a [`ProtocolError`]
+    /// instead of a panic, so a service caller can shed, degrade, or
+    /// exit non-zero. [`Protocol::allocate`] is a thin `unwrap` over
+    /// this path.
+    pub fn try_allocate<R, O>(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut R,
+        obs: &mut O,
+    ) -> Result<Outcome, ProtocolError>
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
+        let capacity = u64::from(self.cap) * cfg.n as u64;
+        if cfg.m > capacity {
+            return Err(ProtocolError::InfeasibleCapacity { m: cfg.m, capacity });
+        }
         match resolve_round_engine(cfg.engine, cfg.n, cfg.m, cfg.threads) {
             Engine::Histogram => self.allocate_round_occupancy(cfg, rng, obs),
             Engine::Concurrent => super::concurrent::bounded_load(
@@ -106,24 +118,53 @@ impl Protocol for BoundedLoad {
     }
 }
 
+impl Protocol for BoundedLoad {
+    fn name(&self) -> String {
+        format!("bounded-load(cap={})", self.cap)
+    }
+
+    /// Runs the process; panics (with the [`ProtocolError`] display) if
+    /// `m > cap·n` (capacity infeasible) or if the safety round limit
+    /// is exceeded (indicates a bug, not bad luck — 64 rounds is
+    /// astronomically beyond `log* n`). Callers that want the failure
+    /// as a value use [`BoundedLoad::try_allocate`].
+    ///
+    /// The engine in `cfg` resolves by the parallel family's fixed rule
+    /// (see [`super`]): `Faithful`/`Jump` run the per-contact rounds,
+    /// `Histogram`/`LevelBatched` the round-occupancy engine,
+    /// `Concurrent` the sharded multi-thread engine
+    /// ([`super::concurrent`]), `Auto` the measured cutoff
+    /// [`Engine::auto_parallel`] (promoted to `Concurrent` when
+    /// `cfg.threads > 1`).
+    fn allocate<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    where
+        R: Rng64 + ?Sized,
+        O: Observer + ?Sized,
+    {
+        self.try_allocate(cfg, rng, obs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 impl BoundedLoad {
     /// The faithful per-contact path. Per-round cost is
     /// `O(unplaced · k_r)`: requester lists are cleared through the
     /// touched-bin list (never an `O(n)` sweep), and the
     /// placement flags are allocated once — a placed ball never returns,
     /// so its flag never needs resetting.
-    fn allocate_faithful<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    fn allocate_faithful<R, O>(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut R,
+        obs: &mut O,
+    ) -> Result<Outcome, ProtocolError>
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
         let (n, m) = (cfg.n, cfg.m);
         assert!(n > 0, "need at least one bin");
-        assert!(
-            m <= self.cap as u64 * n as u64,
-            "m = {m} exceeds total capacity {}",
-            self.cap as u64 * n as u64
-        );
+        debug_assert!(m <= self.cap as u64 * n as u64, "checked by try_allocate");
         let want_stages = obs.wants_stage_ends();
         let mut loads = vec![0u32; n];
         // Balls still unplaced, by id.
@@ -142,11 +183,12 @@ impl BoundedLoad {
 
         while !unplaced.is_empty() {
             rounds += 1;
-            assert!(
-                rounds <= self.max_rounds,
-                "bounded-load protocol failed to converge in {} rounds",
-                self.max_rounds
-            );
+            if rounds > self.max_rounds {
+                return Err(ProtocolError::Unconverged {
+                    protocol: self.name(),
+                    rounds: u64::from(self.max_rounds),
+                });
+            }
             contacts_cum += contacts as u64;
             // Phase 1: contacts.
             for &ball in &unplaced {
@@ -192,7 +234,7 @@ impl BoundedLoad {
             }
         }
 
-        Outcome {
+        Ok(Outcome {
             protocol: self.name(),
             n,
             m,
@@ -200,7 +242,7 @@ impl BoundedLoad {
             max_samples_per_ball: max_contacts,
             loads: loads.into(),
             scenario: Scenario::rounds(rounds, messages),
-        }
+        })
     }
 
     /// The round-occupancy path. A round with `u` unplaced balls and
@@ -230,18 +272,19 @@ impl BoundedLoad {
     /// cross-round correlation (a fixed low-index bin wins every tie it
     /// is part of) is not representable in histogram state and is
     /// bounded by the equivalence suite.
-    fn allocate_round_occupancy<R, O>(&self, cfg: &RunConfig, rng: &mut R, obs: &mut O) -> Outcome
+    fn allocate_round_occupancy<R, O>(
+        &self,
+        cfg: &RunConfig,
+        rng: &mut R,
+        obs: &mut O,
+    ) -> Result<Outcome, ProtocolError>
     where
         R: Rng64 + ?Sized,
         O: Observer + ?Sized,
     {
         let (n, m) = (cfg.n, cfg.m);
         assert!(n > 0, "need at least one bin");
-        assert!(
-            m <= self.cap as u64 * n as u64,
-            "m = {m} exceeds total capacity {}",
-            self.cap as u64 * n as u64
-        );
+        debug_assert!(m <= self.cap as u64 * n as u64, "checked by try_allocate");
         let mut hist = OccupancyHistogram::new(n);
         let trace = RoundTrace::new(n, rng, obs);
         let mut unplaced = m;
@@ -254,11 +297,12 @@ impl BoundedLoad {
 
         while unplaced > 0 {
             rounds += 1;
-            assert!(
-                rounds <= self.max_rounds,
-                "bounded-load protocol failed to converge in {} rounds",
-                self.max_rounds
-            );
+            if rounds > self.max_rounds {
+                return Err(ProtocolError::Unconverged {
+                    protocol: self.name(),
+                    rounds: u64::from(self.max_rounds),
+                });
+            }
             contacts_cum += contacts;
             let total = unplaced * contacts;
             messages += total;
@@ -334,7 +378,7 @@ impl BoundedLoad {
             trace.stage_end(obs, rounds, &hist, m - unplaced);
         }
 
-        Outcome {
+        Ok(Outcome {
             protocol: self.name(),
             n,
             m,
@@ -342,7 +386,7 @@ impl BoundedLoad {
             max_samples_per_ball: max_contacts,
             loads: trace.finish(&hist, rng),
             scenario: Scenario::rounds(rounds, messages),
-        }
+        })
     }
 
     /// Exact within-round simulation for small rounds (`u·k ≤ 64`): the
@@ -481,8 +525,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn infeasible_capacity_rejected() {
+    fn infeasible_capacity_is_a_typed_error() {
+        let mut rng = SplitMix64::new(11);
+        let err = BoundedLoad::new(1)
+            .try_run(4, 5, &mut rng)
+            .expect_err("m > cap·n must be rejected");
+        assert_eq!(err, ProtocolError::InfeasibleCapacity { m: 5, capacity: 4 });
+        assert_eq!(
+            err.to_string(),
+            "infeasible: m = 5 exceeds total capacity 4"
+        );
+        // The concurrent engine rejects it too (as a value, no panic).
+        let mut rng = SplitMix64::new(11);
+        let cfg = RunConfig::new(4, 5).with_threads(2);
+        let err = BoundedLoad::new(1)
+            .try_allocate(&cfg, &mut rng, &mut bib_core::protocol::NullObserver)
+            .expect_err("concurrent path must also reject");
+        assert!(matches!(err, ProtocolError::InfeasibleCapacity { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible: m = 5 exceeds total capacity 4")]
+    fn infallible_entry_point_panics_with_the_error_display() {
         let mut rng = SplitMix64::new(11);
         BoundedLoad::new(1).run(4, 5, &mut rng);
     }

@@ -64,6 +64,7 @@
 //!
 //! [`Engine::Concurrent`]: bib_core::protocol::Engine::Concurrent
 
+use bib_core::error::ProtocolError;
 use bib_core::protocol::{Observer, Outcome, RunConfig};
 use bib_core::scenario::Scenario;
 use bib_rng::{Rng64, RngExt, SeedSequence, Xoshiro256PlusPlus};
@@ -499,18 +500,19 @@ pub(super) fn bounded_load<R, O>(
     cfg: &RunConfig,
     rng: &mut R,
     obs: &mut O,
-) -> Outcome
+) -> Result<Outcome, ProtocolError>
 where
     R: Rng64 + ?Sized,
     O: Observer + ?Sized,
 {
     let (n, m) = (cfg.n, cfg.m);
     assert!(n > 0, "need at least one bin");
-    assert!(
-        m <= u64::from(cap) * n as u64,
-        "m = {m} exceeds total capacity {}",
-        u64::from(cap) * n as u64
-    );
+    if m > u64::from(cap) * n as u64 {
+        return Err(ProtocolError::InfeasibleCapacity {
+            m,
+            capacity: u64::from(cap) * n as u64,
+        });
+    }
     assert!(m <= u64::from(u32::MAX), "ball ids are u32");
     assert!(n <= u32::MAX as usize, "bin ids are u32 in lottery cells");
     let workers = cfg.threads.max(1);
@@ -702,16 +704,18 @@ where
         }
     });
 
-    assert!(
-        !failed.into_inner(),
-        "bounded-load protocol failed to converge in {max_rounds} rounds"
-    );
+    if failed.into_inner() {
+        return Err(ProtocolError::Unconverged {
+            protocol: name,
+            rounds: u64::from(max_rounds),
+        });
+    }
     if want_stages {
         replay_stages(stages, obs);
     }
     let messages = messages.into_inner();
     let rounds = rounds_out.into_inner();
-    Outcome {
+    Ok(Outcome {
         protocol: name,
         n,
         m,
@@ -719,7 +723,7 @@ where
         max_samples_per_ball: max_contacts_out.into_inner(),
         loads: unwrap_loads(loads).into(),
         scenario: Scenario::rounds(rounds, messages),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------

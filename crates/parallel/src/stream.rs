@@ -1,0 +1,567 @@
+//! The concurrent (dense, sharded) streaming driver.
+//!
+//! The serial driver in `bib_core::stream` collapses the fleet to
+//! occupancy histograms; this one keeps **dense per-bin state** — a
+//! load and a [`BinState`] per bin — and shards every phase of a tick
+//! over a worker pool, the same superstep shape as the concurrent batch
+//! engine in [`super::protocols`]:
+//!
+//! ```text
+//! tick:  [leader: faults, params, arrivals count, due retries]
+//!        barrier
+//!        [all: snapshot copy of live loads]          (deterministic)
+//!        barrier
+//!        [all: place due retries + fresh arrivals]   (chunked items)
+//!        barrier
+//!        [all: per-bin binomial departures]          (chunked bins)
+//!        barrier
+//!        [leader: merge retry fails, record series]
+//!        barrier
+//! ```
+//!
+//! # Determinism across thread counts
+//!
+//! In deterministic mode (the default) every random decision is a pure
+//! function of `(seed, tick, chunk)`: items and bins are claimed by
+//! static chunk ownership (`chunk % workers == w`), each chunk draws
+//! from its own seed-derived stream, placements read the tick-start
+//! *snapshot* and commit with commutative `fetch_add`s, and the retry
+//! queue is rebuilt by the leader in global item order. The result —
+//! every load, every counter, the whole [`TickStats`] series — is
+//! bit-identical for 1, 2 or 4 workers (regression-tested). `--racy`
+//! trades that away: per-worker streams and live-load reads, racy by
+//! construction but still degraded-never-wedged (shed/fallback
+//! semantics are enforced identically).
+//!
+//! The adaptive/threshold acceptance bound is frozen at tick start
+//! (superstep semantics): `in_system` and the alive count are leader
+//! snapshots, matching how the batch concurrent engine freezes
+//! round-start loads. Faults apply through
+//! [`FaultPlan::apply_dense`] on the leader's master state vector, and
+//! every contact consults the shared per-bin state: a dead or draining
+//! bin costs the probe and forces a re-draw, a slow bin costs an extra
+//! sample.
+
+use bib_core::faults::BinState;
+use bib_core::loads::Loads;
+use bib_core::protocol::{Outcome, RunConfig};
+use bib_core::scenario::{strict_int_bound, Family, Scenario};
+use bib_core::stream::{
+    arrival_count, stream_name, LatencyTail, StreamReport, StreamSpec, TickStats,
+};
+use bib_rng::{Rng64, RngExt, SeedSequence, Xoshiro256PlusPlus};
+use crossbeam::pool;
+// ORDERING: import only; every use site documents its own ordering.
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Items (balls) and bins are sharded in chunks of this size.
+const CHUNK: u64 = 4096;
+
+/// A ball awaiting placement: attempts so far and samples already
+/// spent (carried across retries for the latency tail).
+#[derive(Debug, Clone, Copy, Default)]
+struct Pending {
+    attempts: u32,
+    samples: u64,
+}
+
+/// Acceptance law for one tick, frozen by the leader: 0 = uniform
+/// (one-choice / fallback), 1 = below-bound (adaptive / threshold),
+/// 2 = least-of-d (greedy).
+#[derive(Clone, Copy)]
+enum Style {
+    Uniform,
+    Below(u32),
+    LeastOf(u32),
+}
+
+fn chunk_stream(engine_seed: u64, label: &str, tick: u64, chunk: u64) -> Xoshiro256PlusPlus {
+    SeedSequence::new(engine_seed)
+        .child_str(label)
+        .child(tick)
+        .child(chunk)
+        .rng()
+}
+
+fn chunk_range(chunk: u64, items: u64) -> (u64, u64) {
+    let lo = chunk * CHUNK;
+    (lo, (lo + CHUNK).min(items))
+}
+
+/// Runs a stream on the dense sharded engine with `cfg.threads`
+/// workers, returning the same [`StreamReport`] surface as the serial
+/// [`bib_core::stream::serve`]. Deterministic in `(seed, spec, cfg)`
+/// and independent of the worker count unless `cfg.racy`.
+pub fn serve_concurrent(
+    spec: &StreamSpec,
+    family: Family,
+    cfg: &RunConfig,
+    seed: u64,
+) -> StreamReport {
+    let n = cfg.n;
+    assert!(n > 0, "stream: need at least one bin");
+    assert!(spec.ticks > 0, "stream: need at least one tick");
+    let retry = spec.retry;
+    assert!(retry.probe_budget >= 1, "probe budget must be ≥ 1");
+    assert!(retry.retry_budget >= 1, "retry budget must be ≥ 1");
+    let workers = cfg.threads.max(1);
+    let det = !cfg.racy;
+    let budget = u64::from(retry.probe_budget);
+    let ring_len = retry.backoff_cap.max(1) as u64 + 1;
+    let name = stream_name(family);
+    let engine_seed = SeedSequence::new(seed).child_str(&name).rng().next_u64();
+
+    // Dense bin shards. ORDERING: Relaxed throughout this driver — each
+    // phase either only writes its own chunk (snapshot copy,
+    // departures), takes commutative `fetch_add`s (placements), or
+    // reads values settled by the previous phase's barrier; the barrier
+    // is the only inter-phase publication (module docs).
+    let loads: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let snapshot: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // ORDERING: Relaxed — same barrier-publication contract as above.
+    let states: Vec<AtomicU32> = (0..n)
+        .map(|_| AtomicU32::new(BinState::Alive.code()))
+        .collect();
+
+    // Per-tick parameters, leader-published before the top-of-tick
+    // barrier. ORDERING: Relaxed — barrier-separated control block.
+    let due_len = AtomicU64::new(0);
+    let fresh_count = AtomicU64::new(0);
+    let style_kind = AtomicU32::new(0);
+    // ORDERING: Relaxed — leader-published, barrier-separated (above).
+    let style_param = AtomicU32::new(0);
+    let fallback_flag = AtomicU32::new(0);
+
+    // Run accumulators. ORDERING: Relaxed — commutative adds/maxes,
+    // read by the leader only after a barrier (or after the pool).
+    let placed_total = AtomicU64::new(0);
+    let departed_total = AtomicU64::new(0);
+    let shed_total = AtomicU64::new(0);
+    // ORDERING: Relaxed — same commutative-accumulator contract.
+    let fallback_total = AtomicU64::new(0);
+    let arrivals_total = AtomicU64::new(0);
+    let samples_total = AtomicU64::new(0);
+    // ORDERING: Relaxed — same commutative-accumulator contract.
+    let max_samples = AtomicU64::new(0);
+    let alive_final = AtomicU64::new(n as u64);
+
+    // Leader-rebuilt per-tick structures (locked only at phase edges).
+    let due_shared: Mutex<Vec<Pending>> = Mutex::new(Vec::new());
+    let retry_out: Mutex<Vec<(u64, Pending)>> = Mutex::new(Vec::new());
+    let series_shared: Mutex<Vec<TickStats>> = Mutex::new(Vec::with_capacity(spec.ticks as usize));
+    let latency_shared: Mutex<LatencyTail> = Mutex::new(LatencyTail::new());
+
+    // lint:allow(D1): the wall clock is serve mode's observable (sustained ops/sec), never an input to the deterministic outcome
+    let start = std::time::Instant::now();
+    pool::scoped(workers, |w, bar| {
+        let leader = w == 0;
+        // Leader-only persistent state (other workers carry None).
+        let mut master: Option<Vec<BinState>> = leader.then(|| vec![BinState::Alive; n]);
+        let mut ring: Option<Vec<Vec<Pending>>> =
+            leader.then(|| vec![Vec::new(); ring_len as usize]);
+        let mut leader_rng =
+            leader.then(|| SeedSequence::new(engine_seed).child_str("arrivals").rng());
+        let mut alive_n = n as u64;
+        // Worker-persistent state.
+        let mut racy_rng = (!det).then(|| {
+            SeedSequence::new(engine_seed)
+                .child_str("racy")
+                .child(w as u64)
+                .rng()
+        });
+        let mut due_local: Vec<Pending> = Vec::new();
+        let mut fails_local: Vec<(u64, Pending)> = Vec::new();
+        let mut local_latency = LatencyTail::new();
+
+        for tick in 0..spec.ticks {
+            if leader {
+                let master = master.as_mut().expect("leader state");
+                let ring = ring.as_mut().expect("leader state");
+                // Faults fire at the tick boundary; re-derive the
+                // shared dense states and the alive count only when
+                // something changed.
+                if spec.faults.apply_dense(tick, master) {
+                    for (b, s) in master.iter().enumerate() {
+                        // ORDERING: Relaxed — leader-only store,
+                        // published by the barrier below.
+                        states[b].store(s.code(), Ordering::Relaxed);
+                    }
+                    alive_n = master.iter().filter(|s| s.accepts()).count() as u64;
+                }
+                // ORDERING: Relaxed — leader reads of barrier-settled
+                // accumulators.
+                let in_system =
+                    placed_total.load(Ordering::Relaxed) - departed_total.load(Ordering::Relaxed);
+                let fallback = !matches!(family, Family::OneChoice)
+                    && (alive_n as f64) < retry.fallback_alive_frac * n as f64;
+                let style = if alive_n == 0 || fallback {
+                    Style::Uniform
+                } else {
+                    match family {
+                        Family::OneChoice => Style::Uniform,
+                        Family::Greedy(d) => Style::LeastOf(d.max(1)),
+                        Family::Adaptive => Style::Below(strict_int_bound(
+                            (in_system + 1) as f64 / alive_n as f64 + 1.0,
+                        )),
+                        Family::Threshold => {
+                            Style::Below(strict_int_bound(cfg.m as f64 / alive_n as f64 + 1.0))
+                        }
+                    }
+                };
+                let (kind, param) = match style {
+                    Style::Uniform => (0, 0),
+                    Style::Below(t) => (1, t),
+                    Style::LeastOf(d) => (2, d),
+                };
+                let rng = leader_rng.as_mut().expect("leader rng");
+                let fresh = arrival_count(cfg.m, spec.ticks, tick, spec.poisson, rng);
+                let due = std::mem::take(&mut ring[(tick % ring_len) as usize]);
+                // ORDERING: Relaxed — leader-published tick parameters,
+                // separated from the readers by the barrier below.
+                arrivals_total.fetch_add(fresh, Ordering::Relaxed);
+                due_len.store(due.len() as u64, Ordering::Relaxed);
+                fresh_count.store(fresh, Ordering::Relaxed);
+                // ORDERING: Relaxed — same leader-published block.
+                style_kind.store(kind, Ordering::Relaxed);
+                style_param.store(param, Ordering::Relaxed);
+                fallback_flag.store(u32::from(fallback), Ordering::Relaxed);
+                *due_shared.lock().expect("due lock") = due;
+            }
+            bar.sync();
+
+            // Snapshot phase (deterministic mode): freeze tick-start
+            // loads so placement decisions are interleaving-free.
+            if det {
+                let bin_chunks = (n as u64).div_ceil(CHUNK);
+                for chunk in (w as u64..bin_chunks).step_by(workers) {
+                    let (lo, hi) = chunk_range(chunk, n as u64);
+                    for b in lo as usize..hi as usize {
+                        // ORDERING: Relaxed — exclusive chunk owner;
+                        // settled by the barriers around this phase.
+                        snapshot[b].store(loads[b].load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                }
+            }
+            bar.sync();
+
+            // Placement phase: due retries first (global item indices
+            // 0..due_len), then fresh arrivals.
+            // ORDERING: Relaxed — leader-published tick parameters read
+            // after the barrier.
+            let due_n = due_len.load(Ordering::Relaxed);
+            let fresh = fresh_count.load(Ordering::Relaxed);
+            let fallback = fallback_flag.load(Ordering::Relaxed) != 0;
+            // ORDERING: Relaxed — same leader-published block.
+            let style = match style_kind.load(Ordering::Relaxed) {
+                0 => Style::Uniform,
+                1 => Style::Below(style_param.load(Ordering::Relaxed)),
+                // ORDERING: Relaxed — same leader-published block.
+                _ => Style::LeastOf(style_param.load(Ordering::Relaxed)),
+            };
+            let total_items = due_n + fresh;
+            if due_n > 0 {
+                due_local.clear();
+                due_local.extend_from_slice(&due_shared.lock().expect("due lock"));
+            }
+            let item_chunks = total_items.div_ceil(CHUNK);
+            let mut placed = 0u64;
+            let mut shed = 0u64;
+            let mut fellback = 0u64;
+            let mut samples_spent = 0u64;
+            let mut samples_peak = 0u64;
+            for chunk in (w as u64..item_chunks).step_by(workers) {
+                let (lo, hi) = chunk_range(chunk, total_items);
+                let mut stream;
+                let crng: &mut dyn Rng64 = match racy_rng.as_mut() {
+                    Some(wr) => wr,
+                    None => {
+                        stream = chunk_stream(engine_seed, "place", tick, chunk);
+                        &mut stream
+                    }
+                };
+                for i in lo..hi {
+                    let mut ball = if i < due_n {
+                        due_local[i as usize]
+                    } else {
+                        Pending::default()
+                    };
+                    let mut samples = 0u64;
+                    let mut best: Option<(u32, usize)> = None;
+                    let mut found = 0u32;
+                    let mut landed = false;
+                    while samples < budget {
+                        let b = crng.range_usize(n);
+                        // ORDERING: Relaxed — states change only in the
+                        // leader phase, barrier-separated from here.
+                        let st = BinState::from_code(states[b].load(Ordering::Relaxed));
+                        if !st.accepts() {
+                            // A contacted dead/draining bin costs the
+                            // probe and forces a re-draw.
+                            samples += 1;
+                            continue;
+                        }
+                        samples += st.contact_cost();
+                        // ORDERING: Relaxed — deterministic mode reads
+                        // the frozen snapshot, racy mode the live loads.
+                        let load = if det {
+                            snapshot[b].load(Ordering::Relaxed)
+                        } else {
+                            // ORDERING: Relaxed — racy mode accepts
+                            // stale/racing loads by design.
+                            loads[b].load(Ordering::Relaxed)
+                        };
+                        let commit = match style {
+                            Style::Uniform => Some(b),
+                            Style::Below(t) => (load < t).then_some(b),
+                            Style::LeastOf(d) => {
+                                if best.is_none_or(|(bl, _)| load < bl) {
+                                    best = Some((load, b));
+                                }
+                                found += 1;
+                                (found >= d).then(|| best.expect("candidate").1)
+                            }
+                        };
+                        if let Some(bin) = commit {
+                            // ORDERING: Relaxed — commutative placement
+                            // tally; the final value is settled by the
+                            // end-of-phase barrier.
+                            loads[bin].fetch_add(1, Ordering::Relaxed);
+                            landed = true;
+                            break;
+                        }
+                    }
+                    ball.samples += samples;
+                    samples_spent += samples;
+                    samples_peak = samples_peak.max(ball.samples);
+                    if landed {
+                        placed += 1;
+                        fellback += u64::from(fallback);
+                        local_latency.record(ball.samples);
+                    } else {
+                        ball.attempts += 1;
+                        if ball.attempts >= retry.retry_budget {
+                            shed += 1;
+                        } else {
+                            fails_local.push((i, ball));
+                        }
+                    }
+                }
+            }
+            // ORDERING: Relaxed — commutative accumulators, read by the
+            // leader after the end-of-phase barrier.
+            placed_total.fetch_add(placed, Ordering::Relaxed);
+            shed_total.fetch_add(shed, Ordering::Relaxed);
+            fallback_total.fetch_add(fellback, Ordering::Relaxed);
+            // ORDERING: Relaxed — same commutative-accumulator block.
+            samples_total.fetch_add(samples_spent, Ordering::Relaxed);
+            max_samples.fetch_max(samples_peak, Ordering::Relaxed);
+            if !fails_local.is_empty() {
+                retry_out
+                    .lock()
+                    .expect("retry lock")
+                    .append(&mut fails_local);
+            }
+            bar.sync();
+
+            // Departure phase: every resident ball departs with
+            // probability p; dead bins freeze. Exclusive chunk
+            // ownership makes the plain load/store safe.
+            if spec.depart_prob > 0.0 {
+                let bin_chunks = (n as u64).div_ceil(CHUNK);
+                let mut departed = 0u64;
+                for chunk in (w as u64..bin_chunks).step_by(workers) {
+                    let (lo, hi) = chunk_range(chunk, n as u64);
+                    let mut stream;
+                    let crng: &mut dyn Rng64 = match racy_rng.as_mut() {
+                        Some(wr) => wr,
+                        None => {
+                            stream = chunk_stream(engine_seed, "depart", tick, chunk);
+                            &mut stream
+                        }
+                    };
+                    for b in lo as usize..hi as usize {
+                        // ORDERING: Relaxed — states are frozen outside
+                        // the leader phase; loads owned by this chunk.
+                        let st = BinState::from_code(states[b].load(Ordering::Relaxed));
+                        let load = loads[b].load(Ordering::Relaxed);
+                        if st.departs() && load > 0 {
+                            let gone: u32 = bib_core::histogram::split_binomial(
+                                u64::from(load),
+                                spec.depart_prob,
+                                crng,
+                            )
+                            .try_into()
+                            .expect("binomial sample bounded by its u32 trial count");
+                            if gone > 0 {
+                                // ORDERING: Relaxed — exclusive owner.
+                                loads[b].store(load - gone, Ordering::Relaxed);
+                                departed += u64::from(gone);
+                            }
+                        }
+                    }
+                }
+                // ORDERING: Relaxed — commutative add, barrier-settled.
+                departed_total.fetch_add(departed, Ordering::Relaxed);
+            }
+            bar.sync();
+
+            if leader {
+                let ring = ring.as_mut().expect("leader state");
+                // Rebuild the retry ring in global item order so its
+                // contents are independent of which worker failed which
+                // ball.
+                let mut fails = std::mem::take(&mut *retry_out.lock().expect("retry lock"));
+                fails.sort_unstable_by_key(|(i, _)| *i);
+                for (_, ball) in fails {
+                    let delay = (1u64 << (ball.attempts - 1).min(31)).min(ring_len - 1);
+                    ring[((tick + delay) % ring_len) as usize].push(ball);
+                }
+                // Tick record: gap/max over the accepting bins.
+                let master = master.as_ref().expect("leader state");
+                let (mut min_l, mut max_l) = (u32::MAX, 0u32);
+                for (b, s) in master.iter().enumerate() {
+                    if s.accepts() {
+                        // ORDERING: Relaxed — placements and departures
+                        // settled by the barriers above.
+                        let l = loads[b].load(Ordering::Relaxed);
+                        min_l = min_l.min(l);
+                        max_l = max_l.max(l);
+                    }
+                }
+                let (gap, max_load) = if alive_n > 0 {
+                    (max_l - min_l, max_l)
+                } else {
+                    (0, 0)
+                };
+                // ORDERING: Relaxed — barrier-settled accumulators.
+                let placed_c = placed_total.load(Ordering::Relaxed);
+                let departed_c = departed_total.load(Ordering::Relaxed);
+                let alive_ppm = u32::try_from(alive_n * 1_000_000 / n as u64)
+                    .expect("alive fraction in parts-per-million fits u32");
+                series_shared.lock().expect("series lock").push(TickStats {
+                    tick,
+                    in_system: placed_c - departed_c,
+                    gap,
+                    max_load,
+                    alive_ppm,
+                    placed: placed_c,
+                    departed: departed_c,
+                    // ORDERING: Relaxed — barrier-settled accumulators.
+                    shed: shed_total.load(Ordering::Relaxed),
+                    fallbacks: fallback_total.load(Ordering::Relaxed),
+                    samples: samples_total.load(Ordering::Relaxed),
+                });
+            }
+            bar.sync();
+        }
+
+        if leader {
+            // Balls still waiting for a retry slot are shed.
+            let ring = ring.as_mut().expect("leader state");
+            let waiting: u64 = ring.iter().map(|s| s.len() as u64).sum();
+            // ORDERING: Relaxed — read after the pool joins.
+            shed_total.fetch_add(waiting, Ordering::Relaxed);
+            alive_final.store(alive_n, Ordering::Relaxed);
+        }
+        let mut lat = latency_shared.lock().expect("latency lock");
+        lat.merge(&local_latency);
+    });
+    let wall = start.elapsed();
+
+    // ORDERING: the pool has joined — into_inner takes unique ownership.
+    let loads: Vec<u32> = loads.into_iter().map(AtomicU32::into_inner).collect();
+    let arrivals = arrivals_total.into_inner();
+    let departed = departed_total.into_inner();
+    let shed = shed_total.into_inner();
+    let placed = placed_total.into_inner();
+    let outcome = Outcome {
+        protocol: name,
+        n,
+        m: placed - departed,
+        total_samples: samples_total.into_inner(),
+        max_samples_per_ball: max_samples.into_inner(),
+        loads: Loads::from_vec(loads),
+        scenario: Scenario::stream(
+            spec.ticks,
+            arrivals,
+            departed,
+            shed,
+            fallback_total.into_inner(),
+            alive_final.into_inner() as f64 / n as f64,
+        ),
+    };
+    outcome.validate();
+    StreamReport {
+        outcome,
+        series: series_shared.into_inner().expect("series lock"),
+        latency: latency_shared.into_inner().expect("latency lock"),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bib_core::faults::FaultPlan;
+    use bib_core::stream::RetryPolicy;
+
+    fn cfg(n: usize, m: u64, threads: usize, racy: bool) -> RunConfig {
+        RunConfig::new(n, m).with_threads(threads).with_racy(racy)
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let spec = StreamSpec::new(60, 0.05)
+            .with_faults(FaultPlan::mass_failure(20, 0.5, 40, 9))
+            .with_retry(RetryPolicy {
+                probe_budget: 6,
+                retry_budget: 3,
+                backoff_cap: 4,
+                fallback_alive_frac: 0.6,
+            });
+        let c = cfg(512, 60 * 128, 1, false);
+        let base = serve_concurrent(&spec, Family::Greedy(2), &c, 41);
+        for threads in [2usize, 4] {
+            let c = cfg(512, 60 * 128, threads, false);
+            let run = serve_concurrent(&spec, Family::Greedy(2), &c, 41);
+            assert_eq!(run.outcome.loads, base.outcome.loads, "{threads} threads");
+            assert_eq!(
+                run.outcome.scenario, base.outcome.scenario,
+                "{threads} threads"
+            );
+            assert_eq!(run.outcome.total_samples, base.outcome.total_samples);
+            assert_eq!(run.series, base.series, "{threads} threads");
+            assert_eq!(run.latency, base.latency, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn racy_mode_still_degrades_gracefully() {
+        let spec = StreamSpec::new(50, 0.05)
+            .with_faults(FaultPlan::mass_failure(15, 0.6, 35, 3))
+            .with_retry(RetryPolicy {
+                probe_budget: 4,
+                retry_budget: 2,
+                backoff_cap: 4,
+                fallback_alive_frac: 0.7,
+            });
+        let c = cfg(256, 50 * 64, 4, true);
+        let report = serve_concurrent(&spec, Family::Adaptive, &c, 5);
+        report.outcome.validate();
+        let s = &report.outcome.scenario;
+        assert!(s.shed + s.fallbacks > 0, "faults left no trace");
+        assert_eq!(s.alive_frac, 1.0, "everyone recovered");
+    }
+
+    #[test]
+    fn fault_free_stream_conserves_and_balances() {
+        let spec = StreamSpec::new(40, 0.0).deterministic();
+        let c = cfg(128, 40 * 32, 2, false);
+        let report = serve_concurrent(&spec, Family::OneChoice, &c, 8);
+        assert_eq!(report.outcome.m, 40 * 32);
+        assert_eq!(report.outcome.scenario.shed, 0);
+        assert_eq!(report.outcome.scenario.label(), "stream");
+        assert!(report.ops() >= 40 * 32);
+    }
+}

@@ -28,6 +28,30 @@ pub enum InsertError {
     DuplicateKey,
 }
 
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        bib_core::error::ProtocolError::from(*self).fmt(f)
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A cuckoo insertion failure is a [`ProtocolError`] — the CLI and any
+/// service caller surface it through the same typed-error path as the
+/// bounded-load infeasibility, with a non-zero exit instead of a crash.
+///
+/// [`ProtocolError`]: bib_core::error::ProtocolError
+impl From<InsertError> for bib_core::error::ProtocolError {
+    fn from(e: InsertError) -> Self {
+        match e {
+            InsertError::KickBudgetExhausted { kicks } => {
+                bib_core::error::ProtocolError::KickBudgetExhausted { kicks }
+            }
+            InsertError::DuplicateKey => bib_core::error::ProtocolError::DuplicateKey,
+        }
+    }
+}
+
 /// A cuckoo hash table of `u64` keys with an overflow stash.
 ///
 /// # Examples

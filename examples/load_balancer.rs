@@ -1,13 +1,17 @@
-//! Load-balancer scenario: dispatching an *open-ended* request stream to
-//! servers.
+//! Flagship demo: a fault-tolerant streaming load balancer.
 //!
-//! This is the application the paper's adaptivity is for: a dispatcher
-//! that does not know how many requests will arrive can still use
-//! `adaptive` (the acceptance threshold depends only on the running
-//! count), whereas `threshold` needs `m` up front. We simulate bursts of
-//! requests arriving in waves, check the dispatcher's view after *every*
-//! wave, and compare against `greedy[2]` — the classic two-choice
-//! dispatcher — and one-choice.
+//! This is the application the paper's adaptivity is for, now run as a
+//! *service* instead of a batch: requests arrive and complete
+//! continuously, the dispatcher places each with two-choice probing,
+//! and mid-run half the fleet crashes and later recovers. Watch for:
+//!
+//! * **sustained throughput** — millions of placements + departures per
+//!   second on the dense sharded engine;
+//! * **graceful degradation** — during the outage the dispatcher sheds
+//!   or falls back to one-choice instead of wedging, and every such
+//!   event is counted on the outcome record;
+//! * **self-stabilization** — after the recovery event the gap falls
+//!   back into its pre-fault band within a few ticks.
 //!
 //! Run with:
 //! ```text
@@ -15,62 +19,113 @@
 //! ```
 
 use balls_into_bins::core::prelude::*;
-use balls_into_bins::core::protocol::StageTrace;
-use balls_into_bins::core::run::run_with_observer;
+use balls_into_bins::parallel::{available_threads, serve_concurrent};
 
 fn main() {
-    let servers = 1_000usize;
-    // Five waves of traffic; total unknown to the dispatcher in advance.
-    let waves = [50_000u64, 10_000, 80_000, 5_000, 55_000];
-    let total: u64 = waves.iter().sum();
-    let cfg = RunConfig::new(servers, total).with_engine(Engine::Jump);
+    let servers = 100_000usize;
+    let ticks = 400u64;
+    let arrivals = 20_000_000u64; // ≈50k requests per tick
+    let depart = 0.10; // each resident request completes w.p. 10%/tick
+    let crash_at = 150u64;
+    let recover_at = 250u64;
+    let seed = 2013u64;
 
-    println!("{servers} servers, request waves {waves:?} (total {total})");
-    println!("dispatcher guarantee: no server ever exceeds ⌈t/n⌉+1 at any prefix t\n");
+    let spec = StreamSpec::new(ticks, depart)
+        .with_faults(FaultPlan::mass_failure(crash_at, 0.5, recover_at, seed))
+        .with_retry(RetryPolicy {
+            probe_budget: 8,
+            retry_budget: 3,
+            backoff_cap: 8,
+            fallback_alive_frac: 0.6,
+        });
+    let threads = available_threads().max(2);
+    let cfg = RunConfig::new(servers, arrivals).with_threads(threads);
 
-    // adaptive with a stage trace: the per-stage smoothness the paper
-    // proves is exactly the \"no server drifts behind\" property an
-    // operator cares about mid-stream.
-    let mut trace = StageTrace::new();
-    let ada = run_with_observer(&Adaptive::paper(), &cfg, 99, &mut trace);
+    println!("{servers} servers, {arrivals} requests over {ticks} ticks, {threads} threads");
+    println!("fault plan: crash 50% of servers at tick {crash_at}, recover at {recover_at}\n");
 
-    println!("adaptive during the stream (every 25 stages ≈ every 25k requests):");
-    println!("{:>8} {:>10} {:>8}", "stage", "psi", "gap");
-    for (i, &s) in trace.stages.iter().enumerate() {
-        if s % 25 == 0 || i + 1 == trace.stages.len() {
-            println!("{:>8} {:>10.1} {:>8}", s, trace.psi[i], trace.gaps[i]);
+    let report = serve_concurrent(&spec, Family::Greedy(2), &cfg, seed);
+    let out = &report.outcome;
+    let s = &out.scenario;
+
+    // Pre-fault steady-state gap band: the worst gap seen in the 50
+    // ticks leading up to the crash.
+    let band = report
+        .series
+        .iter()
+        .filter(|t| t.tick >= crash_at - 50 && t.tick < crash_at)
+        .map(|t| t.gap)
+        .max()
+        .expect("pre-fault window");
+
+    println!(
+        "{:>6} {:>12} {:>8} {:>6} {:>6} {:>10} {:>10}",
+        "tick", "in-system", "alive%", "gap", "max", "shed", "fallbacks"
+    );
+    for t in &report.series {
+        let interesting = t.tick % 50 == 0
+            || t.tick + 1 == ticks
+            || t.tick.abs_diff(crash_at) <= 2
+            || t.tick.abs_diff(recover_at) <= 2;
+        if interesting {
+            let marker = match t.tick {
+                t if t == crash_at => "  <- crash",
+                t if t == recover_at => "  <- recover",
+                _ => "",
+            };
+            println!(
+                "{:>6} {:>12} {:>7.1}% {:>6} {:>6} {:>10} {:>10}{marker}",
+                t.tick,
+                t.in_system,
+                t.alive_ppm as f64 / 1e4,
+                t.gap,
+                t.max_load,
+                t.shed,
+                t.fallbacks
+            );
         }
     }
 
-    println!("\nfinal state comparison:");
-    println!(
-        "{:<12} {:>10} {:>9} {:>9} {:>14}",
-        "dispatcher", "T/m", "max", "gap", "idle capacity*"
-    );
-    for proto in [
-        Box::new(Adaptive::paper()) as Box<dyn DynProtocol>,
-        Box::new(GreedyD::new(2)),
-        Box::new(OneChoice),
-    ] {
-        let out = run_protocol(proto.as_ref(), &cfg, 99);
-        // Idle capacity: how many request slots are wasted if every
-        // server is provisioned for the observed maximum.
-        let idle = out.max_load() as u64 * servers as u64 - total;
-        println!(
-            "{:<12} {:>10.4} {:>9} {:>9} {:>14}",
-            out.protocol,
-            out.time_ratio(),
-            out.max_load(),
-            out.gap(),
-            idle,
-        );
+    let recovered = report
+        .series
+        .iter()
+        .filter(|t| t.tick > recover_at)
+        .find(|t| t.gap <= band);
+    println!("\npre-fault gap band: ≤ {band}");
+    match recovered {
+        Some(t) => println!(
+            "gap back inside the band at tick {} ({} ticks after recovery)",
+            t.tick,
+            t.tick - recover_at
+        ),
+        None => println!("gap still above the band at the end of the run"),
     }
-    let _ = ada;
-    println!("\n* provisioning waste when sizing all servers to the max load.");
-    println!("adaptive keeps the gap (and hence provisioning waste) tiny at every");
+
     println!(
-        "moment of the stream, for ~{:.2}x the dispatch probes of one-choice.",
-        1.0f64
+        "\nthroughput: {} ops ({} placed + {} departed) in {:.3}s = {:.1}M ops/s",
+        report.ops(),
+        s.arrivals - s.shed,
+        s.departed,
+        report.wall.as_secs_f64(),
+        report.ops_per_sec() / 1e6
     );
-    println!("(Exact probe ratios are printed in the T/m column.)");
+    println!(
+        "degradation ledger: shed {} ({:.4}% of arrivals), one-choice fallbacks {}",
+        s.shed,
+        s.shed_rate() * 100.0,
+        s.fallbacks
+    );
+    println!(
+        "latency (probes per placement): p50={} p99={} p999={}",
+        report.latency.quantile(0.50),
+        report.latency.quantile(0.99),
+        report.latency.quantile(0.999)
+    );
+    println!(
+        "final state: {} resident, gap {}, max load {}, alive {:.0}%",
+        out.m,
+        out.gap(),
+        out.max_load(),
+        s.alive_frac * 100.0
+    );
 }

@@ -5,15 +5,34 @@
 //! balls-into-bins constants
 //! balls-into-bins run --protocol adaptive --n 10000 --m 1000000 \
 //!     [--seed 2013] [--engine jump|faithful|level-batched|histogram|auto] [--reps 1] [--trace]
+//! balls-into-bins serve --n 100000 --arrivals 10000000 --ticks 1000 \
+//!     [--depart 0.05] [--family greedy[2]] [--faults crash@200:0.5,recover@400:all] \
+//!     [--threads 4] [--racy] [--seed 2013] [--series] [--poisson] \
+//!     [--probe-budget 16] [--retry-budget 4] [--backoff-cap 8] [--fallback-frac 0.5]
 //! ```
 //!
 //! `run` prints one summary line per replicate (CSV with a header), or a
-//! per-stage potential trace with `--trace` (single replicate).
+//! per-stage potential trace with `--trace` (single replicate). The
+//! special protocol name `bounded-load(cap=K)` runs the parallel
+//! bounded-load protocol; its infeasibility error (`m > cap·n`) is a
+//! typed [`ProtocolError`] reported on stderr with exit code 1, not a
+//! panic.
+//!
+//! `serve` drives the fault-tolerant streaming allocator: `--arrivals`
+//! balls arrive across `--ticks` virtual ticks (deterministic spread,
+//! or Poisson with `--poisson`), each resident ball departs with
+//! probability `--depart` per tick, and `--faults` injects seeded
+//! crash/drain/slow/recover events (grammar `kind@tick:frac[,...]`,
+//! `frac` in (0,1] or `all`). `--threads k` with `k > 1` uses the
+//! dense sharded engine, bit-identical across thread counts unless
+//! `--racy`. Prints a summary line; `--series` dumps the per-tick CSV
+//! (tick, in-system, gap, max load, alive ppm, cumulative counters).
 
 use balls_into_bins::core::prelude::*;
 use balls_into_bins::core::protocol::StageTrace;
 use balls_into_bins::core::protocols::by_name;
 use balls_into_bins::core::run::{replicate_seed, run_with_observer};
+use balls_into_bins::parallel::protocols::BoundedLoad;
 use balls_into_bins::rng::SeedSequence;
 
 const PROTOCOLS: &[&str] = &[
@@ -25,13 +44,18 @@ const PROTOCOLS: &[&str] = &[
     "threshold",
     "adaptive",
     "adaptive-tight",
+    "bounded-load(cap=K)",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  balls-into-bins list\n  balls-into-bins constants\n  \
          balls-into-bins run --protocol <name> --n <bins> --m <balls>\n      \
-         [--seed <u64>] [--engine jump|faithful|level-batched|histogram|auto] [--reps <count>] [--trace]\n\n\
+         [--seed <u64>] [--engine jump|faithful|level-batched|histogram|auto] [--reps <count>] [--trace]\n  \
+         balls-into-bins serve --n <bins> --arrivals <balls> --ticks <ticks>\n      \
+         [--depart <p>] [--family one-choice|greedy[d]|adaptive|threshold] [--poisson]\n      \
+         [--faults kind@tick:frac[,...]] [--threads <k>] [--racy] [--seed <u64>] [--series]\n      \
+         [--probe-budget <u>] [--retry-budget <u>] [--backoff-cap <u>] [--fallback-frac <f>]\n\n\
          protocols: {}",
         PROTOCOLS.join(", ")
     );
@@ -43,6 +67,41 @@ fn parse_u64(v: Option<String>, flag: &str) -> u64 {
         eprintln!("error: {flag} needs an unsigned integer");
         usage()
     })
+}
+
+fn parse_f64(v: Option<String>, flag: &str) -> f64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a number");
+        usage()
+    })
+}
+
+/// Parses a protocol family name: `one-choice`, `greedy[d]`,
+/// `adaptive`, or `threshold`.
+fn parse_family(name: &str) -> Option<Family> {
+    match name {
+        "one-choice" => Some(Family::OneChoice),
+        "adaptive" => Some(Family::Adaptive),
+        "threshold" => Some(Family::Threshold),
+        _ => {
+            let d = name.strip_prefix("greedy[")?.strip_suffix(']')?;
+            d.parse().ok().filter(|&d| d >= 1).map(Family::Greedy)
+        }
+    }
+}
+
+/// Parses `bounded-load(cap=K)`; plain `bounded-load` gets the
+/// default cap of 2.
+fn parse_bounded_load(name: &str) -> Option<BoundedLoad> {
+    if name == "bounded-load" {
+        return Some(BoundedLoad::new(2));
+    }
+    let cap = name
+        .strip_prefix("bounded-load(cap=")?
+        .strip_suffix(')')?
+        .parse()
+        .ok()?;
+    Some(BoundedLoad::new(cap))
 }
 
 fn main() {
@@ -93,6 +152,37 @@ fn main() {
                 eprintln!("error: run needs --protocol, --n and --m");
                 usage()
             };
+            if let Some(bl) = parse_bounded_load(&pname) {
+                // Typed-error path: infeasible configurations (m >
+                // cap·n) are an error report and exit 1, not a panic.
+                println!("replicate,protocol,n,m,samples,time_ratio,max_load,gap,psi");
+                for rep in 0..reps {
+                    let s = replicate_seed(seed, &Protocol::name(&bl), rep);
+                    let mut rng = SeedSequence::new(s).rng();
+                    match bl.try_run(n, m, &mut rng) {
+                        Ok(out) => {
+                            out.validate();
+                            println!(
+                                "{},{},{},{},{},{:.6},{},{},{:.4}",
+                                rep,
+                                out.protocol,
+                                out.n,
+                                out.m,
+                                out.total_samples,
+                                out.time_ratio(),
+                                out.max_load(),
+                                out.gap(),
+                                out.psi()
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            std::process::exit(1)
+                        }
+                    }
+                }
+                return;
+            }
             let Some(proto) = by_name(&pname) else {
                 eprintln!("error: unknown protocol {pname}");
                 usage()
@@ -138,6 +228,133 @@ fn main() {
                     );
                 }
             }
+        }
+        Some("serve") => {
+            let mut n = None;
+            let mut arrivals = None;
+            let mut ticks = None;
+            let mut depart = 0.0f64;
+            let mut family = Family::Greedy(2);
+            let mut faults = None;
+            let mut seed = 2013u64;
+            let mut threads = 1usize;
+            let mut racy = false;
+            let mut poisson = false;
+            let mut series = false;
+            let mut retry = RetryPolicy::default();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--n" => n = Some(parse_u64(args.next(), "--n") as usize),
+                    "--arrivals" => arrivals = Some(parse_u64(args.next(), "--arrivals")),
+                    "--ticks" => ticks = Some(parse_u64(args.next(), "--ticks")),
+                    "--depart" => depart = parse_f64(args.next(), "--depart"),
+                    "--seed" => seed = parse_u64(args.next(), "--seed"),
+                    "--threads" => threads = parse_u64(args.next(), "--threads") as usize,
+                    "--racy" => racy = true,
+                    "--poisson" => poisson = true,
+                    "--series" => series = true,
+                    "--probe-budget" => {
+                        retry.probe_budget = parse_u64(args.next(), "--probe-budget") as u32
+                    }
+                    "--retry-budget" => {
+                        retry.retry_budget = parse_u64(args.next(), "--retry-budget") as u32
+                    }
+                    "--backoff-cap" => {
+                        retry.backoff_cap = parse_u64(args.next(), "--backoff-cap") as u32
+                    }
+                    "--fallback-frac" => {
+                        retry.fallback_alive_frac = parse_f64(args.next(), "--fallback-frac")
+                    }
+                    "--family" => match args.next().as_deref().map(parse_family) {
+                        Some(Some(f)) => family = f,
+                        _ => {
+                            eprintln!(
+                                "error: --family needs one-choice, greedy[d], adaptive or threshold"
+                            );
+                            usage()
+                        }
+                    },
+                    "--faults" => faults = args.next(),
+                    other => {
+                        eprintln!("error: unknown flag {other}");
+                        usage()
+                    }
+                }
+            }
+            let (Some(n), Some(arrivals), Some(ticks)) = (n, arrivals, ticks) else {
+                eprintln!("error: serve needs --n, --arrivals and --ticks");
+                usage()
+            };
+            if !(0.0..1.0).contains(&depart) {
+                eprintln!("error: --depart must be in [0, 1)");
+                usage()
+            }
+            let plan = match faults {
+                Some(spec) => match FaultPlan::parse(&spec, seed) {
+                    Ok(p) => p,
+                    Err(msg) => {
+                        eprintln!("error: bad --faults spec: {msg}");
+                        usage()
+                    }
+                },
+                None => FaultPlan::none(),
+            };
+            let mut spec = StreamSpec::new(ticks, depart)
+                .with_faults(plan)
+                .with_retry(retry);
+            spec.poisson = poisson;
+            let cfg = RunConfig::new(n, arrivals)
+                .with_threads(threads)
+                .with_racy(racy);
+            let report = if threads > 1 {
+                balls_into_bins::parallel::serve_concurrent(&spec, family, &cfg, seed)
+            } else {
+                serve(&spec, family, &cfg, seed)
+            };
+            let out = &report.outcome;
+            let s = &out.scenario;
+            if series {
+                println!(
+                    "tick,in_system,gap,max_load,alive_ppm,placed,departed,shed,fallbacks,samples"
+                );
+                for t in &report.series {
+                    println!(
+                        "{},{},{},{},{},{},{},{},{},{}",
+                        t.tick,
+                        t.in_system,
+                        t.gap,
+                        t.max_load,
+                        t.alive_ppm,
+                        t.placed,
+                        t.departed,
+                        t.shed,
+                        t.fallbacks,
+                        t.samples
+                    );
+                }
+            }
+            eprintln!(
+                "# {} n={} ticks={} arrivals={} departed={} resident={} shed={} fallbacks={} \
+                 alive_frac={:.3} shed_rate={:.6} gap={} max={} ops={} ops/s={:.0} \
+                 latency p50={} p99={} wall={:.3}s",
+                out.protocol,
+                out.n,
+                s.ticks,
+                s.arrivals,
+                s.departed,
+                out.m,
+                s.shed,
+                s.fallbacks,
+                s.alive_frac,
+                s.shed_rate(),
+                out.gap(),
+                out.max_load(),
+                report.ops(),
+                report.ops_per_sec(),
+                report.latency.quantile(0.50),
+                report.latency.quantile(0.99),
+                report.wall.as_secs_f64(),
+            );
         }
         _ => usage(),
     }
